@@ -1,0 +1,137 @@
+// compresso-compress compresses data with the cache-line codecs (BPC,
+// BDI, FPC) and reports per-codec compression ratios, both for files
+// and for the built-in synthetic data patterns.
+//
+// Usage:
+//
+//	compresso-compress -file data.bin
+//	compresso-compress -pattern seq|smallint|pointer|text|random|...
+//	compresso-compress -patterns             (sweep all patterns)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"compresso/internal/compress"
+	"compresso/internal/datagen"
+	"compresso/internal/rng"
+	"compresso/internal/stats"
+)
+
+var codecs = []compress.Codec{
+	compress.BPC{},
+	compress.BPC{DisableBestOf: true},
+	compress.BDI{},
+	compress.FPC{},
+}
+
+func main() {
+	var (
+		file     = flag.String("file", "", "compress a file, line by line")
+		pattern  = flag.String("pattern", "", "compress synthetic lines of one pattern")
+		patterns = flag.Bool("patterns", false, "sweep all synthetic patterns")
+		lines    = flag.Int("lines", 1000, "synthetic lines per pattern")
+		seed     = flag.Uint64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *file != "":
+		f, err := os.Open(*file)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		report(readLines(f), os.Stdout)
+	case *pattern != "":
+		k, err := kindByName(*pattern)
+		if err != nil {
+			fatal(err)
+		}
+		report(synthetic(*seed, *lines, k), os.Stdout)
+	case *patterns:
+		for k := datagen.Kind(0); k < datagen.NKinds; k++ {
+			fmt.Printf("\n--- pattern %v ---\n", k)
+			report(synthetic(*seed, *lines, k), os.Stdout)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "compresso-compress:", err)
+	os.Exit(1)
+}
+
+func kindByName(name string) (datagen.Kind, error) {
+	for k := datagen.Kind(0); k < datagen.NKinds; k++ {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown pattern %q", name)
+}
+
+func synthetic(seed uint64, n int, k datagen.Kind) [][]byte {
+	r := rng.New(seed)
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = datagen.Line(r, k)
+	}
+	return out
+}
+
+func readLines(r io.Reader) [][]byte {
+	var out [][]byte
+	for {
+		buf := make([]byte, compress.LineSize)
+		n, err := io.ReadFull(r, buf)
+		if n == compress.LineSize {
+			out = append(out, buf)
+		} else if n > 0 {
+			// Zero-pad the trailing partial line.
+			out = append(out, buf)
+		}
+		if err != nil {
+			return out
+		}
+	}
+}
+
+func report(lines [][]byte, w io.Writer) {
+	if len(lines) == 0 {
+		fmt.Fprintln(w, "no input lines")
+		return
+	}
+	tbl := stats.NewTable("codec", "raw-ratio", "compresso-bins", "legacy-bins", "zero-lines")
+	for _, c := range codecs {
+		var raw, zero int64
+		var buf [compress.LineSize]byte
+		for _, ln := range lines {
+			n := c.Compress(buf[:], ln)
+			raw += int64(n)
+			if n == 0 {
+				zero++
+			}
+		}
+		rawRatio := float64(len(lines)*compress.LineSize) / float64(max64(raw, 1))
+		tbl.AddRow(c.Name(), rawRatio,
+			compress.Ratio(c, compress.CompressoBins, lines),
+			compress.Ratio(c, compress.LegacyBins, lines),
+			fmt.Sprintf("%.1f%%", 100*float64(zero)/float64(len(lines))))
+	}
+	fmt.Fprintf(w, "%d lines (%d bytes)\n", len(lines), len(lines)*compress.LineSize)
+	tbl.Render(w)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,169 @@
+// compresso-sim runs the paper's experiments (tables and figures) or
+// ad-hoc single-benchmark simulations.
+//
+// Usage:
+//
+//	compresso-sim -list
+//	compresso-sim -exp fig2 [-quick] [-seed N]
+//	compresso-sim -exp all [-quick]
+//	compresso-sim -bench gcc -system compresso [-ops N] [-scale N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"compresso/internal/capacity"
+	"compresso/internal/experiments"
+	"compresso/internal/sim"
+	"compresso/internal/stats"
+	"compresso/internal/workload"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list available experiments")
+		exp     = flag.String("exp", "", "experiment to run (or 'all')")
+		quick   = flag.Bool("quick", false, "reduced footprints and trace lengths")
+		seed    = flag.Uint64("seed", 42, "random seed")
+		bench   = flag.String("bench", "", "run one benchmark instead of an experiment")
+		mix     = flag.String("mix", "", "run one Tab. IV mix (e.g. mix1) across all systems")
+		capFrac = flag.Float64("capacity", 0, "with -bench: run the memory-capacity evaluation at this constrained fraction (e.g. 0.7)")
+		system  = flag.String("system", "compresso", "system for -bench: uncompressed|lcp|lcp-align|compresso")
+		ops     = flag.Uint64("ops", 200_000, "trace operations for -bench")
+		scale   = flag.Int("scale", 4, "footprint divisor for -bench")
+		compare = flag.Bool("compare", false, "with -bench: run all four systems and compare")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		tbl := stats.NewTable("experiment", "description")
+		for _, e := range experiments.List() {
+			tbl.AddRow(e.Name, e.Desc)
+		}
+		tbl.Render(os.Stdout)
+	case *exp == "all":
+		for _, e := range experiments.List() {
+			if err := e.Run(experiments.Options{Out: os.Stdout, Quick: *quick, Seed: *seed}); err != nil {
+				fatal(err)
+			}
+		}
+	case *exp != "":
+		if err := experiments.Run(*exp, experiments.Options{Out: os.Stdout, Quick: *quick, Seed: *seed}); err != nil {
+			fatal(err)
+		}
+	case *bench != "" && *capFrac > 0:
+		runCapacity(*bench, *capFrac, *ops, *scale, *seed)
+	case *bench != "":
+		runBench(*bench, *system, *ops, *scale, *seed, *compare)
+	case *mix != "":
+		runMixCLI(*mix, *ops, *scale, *seed)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "compresso-sim:", err)
+	os.Exit(1)
+}
+
+func parseSystem(name string) (sim.System, error) {
+	for _, s := range sim.ExtendedSystems() {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown system %q", name)
+}
+
+func runCapacity(bench string, frac float64, ops uint64, scale int, seed uint64) {
+	prof, err := workload.ByName(bench)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := capacity.DefaultConfig(frac)
+	cfg.Ops = ops
+	cfg.FootprintScale = scale
+	cfg.Seed = seed
+	out := capacity.Evaluate(prof, cfg)
+	fmt.Printf("%s at %.0f%% of footprint (%d MB scaled):\n",
+		prof.Name, frac*100, out.FootprintB>>20)
+	tbl := stats.NewTable("system", "rel-perf", "faults", "mean-ratio")
+	for s := capacity.Sizer(0); s < capacity.NSizers; s++ {
+		tbl.AddRow(s.String(), out.RelPerf[s], out.Faults[s], out.MeanRatio[s])
+	}
+	tbl.AddRow("unconstrained", out.Unconstrained, 0, "")
+	tbl.Render(os.Stdout)
+}
+
+func runMixCLI(name string, ops uint64, scale int, seed uint64) {
+	var mix *sim.Mix
+	for _, m := range sim.Mixes() {
+		if m.Name == name {
+			mm := m
+			mix = &mm
+			break
+		}
+	}
+	if mix == nil {
+		fatal(fmt.Errorf("unknown mix %q (mix1..mix10)", name))
+	}
+	profs, err := mix.Profiles()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("mix %s: %v\n", mix.Name, mix.Benches)
+	tbl := stats.NewTable("system", "weighted-speedup", "ratio", "extra-accesses")
+	var base sim.MultiResult
+	for _, s := range sim.Systems() {
+		cfg := sim.DefaultConfig(s)
+		cfg.Ops = ops
+		cfg.FootprintScale = scale
+		cfg.Seed = seed
+		res := sim.RunMix(mix.Name, profs, cfg)
+		if s == sim.Uncompressed {
+			base = res
+			tbl.AddRow(res.System, 1.0, res.Ratio, res.Mem.RelativeExtra())
+			continue
+		}
+		tbl.AddRow(res.System, res.WeightedSpeedup(base), res.Ratio, res.Mem.RelativeExtra())
+	}
+	tbl.Render(os.Stdout)
+}
+
+func runBench(bench, system string, ops uint64, scale int, seed uint64, compare bool) {
+	prof, err := workload.ByName(bench)
+	if err != nil {
+		fatal(err)
+	}
+	systems := sim.Systems()
+	if !compare {
+		s, err := parseSystem(system)
+		if err != nil {
+			fatal(err)
+		}
+		systems = []sim.System{s}
+	}
+	tbl := stats.NewTable("system", "cycles", "ipc", "ratio", "extra-accesses", "l3-miss", "md-hit")
+	var base uint64
+	for _, s := range systems {
+		cfg := sim.DefaultConfig(s)
+		cfg.Ops = ops
+		cfg.FootprintScale = scale
+		cfg.Seed = seed
+		res := sim.RunSingle(prof, cfg)
+		if s == sim.Uncompressed {
+			base = res.Cycles
+		}
+		tbl.AddRow(res.System, res.Cycles, res.IPC, res.Ratio,
+			res.Mem.RelativeExtra(), res.L3MissRate, res.MDCache.HitRate())
+		_ = base
+	}
+	fmt.Printf("benchmark %s (%d pages footprint / scale %d, %d ops)\n",
+		prof.Name, prof.FootprintPages, scale, ops)
+	tbl.Render(os.Stdout)
+}

@@ -1,0 +1,116 @@
+// Algorithmlab: an interactive-style codec shoot-out over the data
+// patterns that dominate real memory images, reproducing the §II-A
+// algorithm-selection reasoning: why Compresso picks BPC (with the
+// best-of-transform modification) over BDI and FPC, and what the
+// line-size bins do to each.
+//
+// Run with: go run ./examples/algorithmlab
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"compresso/internal/compress"
+	"compresso/internal/datagen"
+	"compresso/internal/rng"
+	"compresso/internal/stats"
+)
+
+func main() {
+	codecs := []compress.Codec{
+		compress.BPC{},
+		compress.BPC{DisableBestOf: true},
+		compress.BDI{},
+		compress.FPC{},
+	}
+	const linesPerPattern = 2000
+
+	fmt.Println("Raw compression ratio by data pattern (higher is better):")
+	tbl := stats.NewTable(append([]string{"pattern"}, codecNames(codecs)...)...)
+	totals := make([]float64, len(codecs))
+	for k := datagen.Kind(0); k < datagen.NKinds; k++ {
+		r := rng.New(7)
+		lines := make([][]byte, linesPerPattern)
+		for i := range lines {
+			lines[i] = datagen.Line(r, k)
+		}
+		row := []interface{}{k.String()}
+		for ci, c := range codecs {
+			var buf [compress.LineSize]byte
+			var total int64
+			for _, ln := range lines {
+				n := c.Compress(buf[:], ln)
+				if n == 0 {
+					n = 1 // zero lines: metadata-only, count a token byte
+				}
+				total += int64(n)
+			}
+			ratio := float64(linesPerPattern*compress.LineSize) / float64(total)
+			totals[ci] += ratio
+			row = append(row, ratio)
+		}
+		tbl.AddRow(row...)
+	}
+	avgRow := []interface{}{"MEAN"}
+	for _, t := range totals {
+		avgRow = append(avgRow, t/float64(datagen.NKinds))
+	}
+	tbl.AddRow(avgRow...)
+	tbl.Render(os.Stdout)
+
+	fmt.Println("\nEffect of line-size bins (BPC, mixed realistic data):")
+	r := rng.New(11)
+	var mix datagen.Mix
+	mix[datagen.Zero] = 0.25
+	mix[datagen.Seq] = 0.15
+	mix[datagen.SmallInt] = 0.20
+	mix[datagen.Pointer] = 0.10
+	mix[datagen.SmoothFloat] = 0.10
+	mix[datagen.Random] = 0.20
+	lines := make([][]byte, 4000)
+	for i := range lines {
+		lines[i] = datagen.Line(r, mix.Pick(r))
+	}
+	bt := stats.NewTable("bins", "ratio", "note")
+	bt.AddRow("none (raw sizes)", rawRatio(lines), "upper bound, unimplementable")
+	bt.AddRow(compress.EightBins.Name(), compress.Ratio(compress.BPC{}, compress.EightBins, lines), "best fit, 17.5% more overflows (§IV-A1)")
+	bt.AddRow(compress.LegacyBins.Name(), compress.Ratio(compress.BPC{}, compress.LegacyBins, lines), "prior work; 30.9% split lines")
+	bt.AddRow(compress.CompressoBins.Name(), compress.Ratio(compress.BPC{}, compress.CompressoBins, lines), "Compresso: -0.25% ratio, 3.2% splits")
+	bt.Render(os.Stdout)
+
+	fmt.Println("\nWhere the best-of-transform modification wins (stable high bits, noisy low bits):")
+	wins, trials := 0, 500
+	var saved int64
+	for t := 0; t < trials; t++ {
+		line := datagen.Line(r, datagen.SmallInt)
+		b := compress.Size(compress.BPC{}, line)
+		bb := compress.Size(compress.BPC{DisableBestOf: true}, line)
+		if b < bb {
+			wins++
+		}
+		saved += int64(bb - b)
+	}
+	fmt.Printf("raw bit-plane variant won %d/%d small-int lines, saving %d bytes total\n", wins, trials, saved)
+}
+
+func codecNames(cs []compress.Codec) []string {
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.Name()
+	}
+	return out
+}
+
+func rawRatio(lines [][]byte) float64 {
+	var buf [compress.LineSize]byte
+	var total int64
+	for _, ln := range lines {
+		n := (compress.BPC{}).Compress(buf[:], ln)
+		if n == 0 {
+			n = 1
+		}
+		total += int64(n)
+	}
+	return float64(len(lines)*compress.LineSize) / float64(total)
+}

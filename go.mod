@@ -1,0 +1,3 @@
+module compresso
+
+go 1.22

@@ -1,0 +1,104 @@
+// Package bitstream implements MSB-first bit-granular readers and
+// writers over byte slices.
+//
+// The compression codecs in internal/compress emit variable-width
+// symbols (3-bit prefixes, 5-bit run lengths, 33-bit deltas, ...);
+// bitstream is the shared substrate that turns those symbols into the
+// byte images stored in simulated main memory. Bits are packed MSB
+// first within each byte, matching the conventional presentation of
+// the FPC and BPC encodings in the literature.
+package bitstream
+
+import "fmt"
+
+// Writer accumulates bits MSB-first into an internal buffer.
+// The zero value is an empty writer ready for use.
+type Writer struct {
+	buf  []byte
+	nbit int // total bits written
+}
+
+// NewWriter returns a writer with capacity preallocated for n bytes.
+func NewWriter(n int) *Writer {
+	return &Writer{buf: make([]byte, 0, n)}
+}
+
+// WriteBits appends the width low-order bits of v, most significant
+// first. Width must be in [0, 64].
+func (w *Writer) WriteBits(v uint64, width int) {
+	if width < 0 || width > 64 {
+		panic(fmt.Sprintf("bitstream: invalid width %d", width))
+	}
+	for i := width - 1; i >= 0; i-- {
+		bit := byte((v >> uint(i)) & 1)
+		byteIdx := w.nbit >> 3
+		if byteIdx == len(w.buf) {
+			w.buf = append(w.buf, 0)
+		}
+		w.buf[byteIdx] |= bit << uint(7-(w.nbit&7))
+		w.nbit++
+	}
+}
+
+// WriteBit appends a single bit.
+func (w *Writer) WriteBit(bit uint) {
+	w.WriteBits(uint64(bit&1), 1)
+}
+
+// Bits returns the total number of bits written so far.
+func (w *Writer) Bits() int { return w.nbit }
+
+// Len returns the number of bytes needed to hold the written bits.
+func (w *Writer) Len() int { return (w.nbit + 7) / 8 }
+
+// Bytes returns the backing buffer. The final byte is zero-padded in
+// its low-order bits. The slice aliases the writer's storage.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Reset clears the writer for reuse without reallocating.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.nbit = 0
+}
+
+// Reader consumes bits MSB-first from a byte slice.
+type Reader struct {
+	buf []byte
+	pos int // bit position
+}
+
+// NewReader returns a reader over buf.
+func NewReader(buf []byte) *Reader {
+	return &Reader{buf: buf}
+}
+
+// ReadBits consumes width bits and returns them in the low-order bits
+// of the result. It returns an error if the stream is exhausted.
+func (r *Reader) ReadBits(width int) (uint64, error) {
+	if width < 0 || width > 64 {
+		return 0, fmt.Errorf("bitstream: invalid width %d", width)
+	}
+	if r.pos+width > len(r.buf)*8 {
+		return 0, fmt.Errorf("bitstream: read of %d bits at position %d overruns %d-byte buffer", width, r.pos, len(r.buf))
+	}
+	var v uint64
+	for i := 0; i < width; i++ {
+		b := r.buf[r.pos>>3]
+		bit := (b >> uint(7-(r.pos&7))) & 1
+		v = v<<1 | uint64(bit)
+		r.pos++
+	}
+	return v, nil
+}
+
+// ReadBit consumes a single bit.
+func (r *Reader) ReadBit() (uint, error) {
+	v, err := r.ReadBits(1)
+	return uint(v), err
+}
+
+// Pos returns the current bit position.
+func (r *Reader) Pos() int { return r.pos }
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int { return len(r.buf)*8 - r.pos }

@@ -1,0 +1,250 @@
+// Package cache implements set-associative write-back caches and the
+// three-level hierarchy of the paper's simulated cores (Tab. III:
+// 64 KB L1D, 512 KB L2, 2 MB L3 per core / 8 MB shared for 4 cores,
+// 64-byte lines, LRU replacement, write-allocate).
+//
+// The caches track tags and dirty bits only; line *values* live in the
+// workload's memory image. What the memory controller model consumes
+// is exactly what a real one sees: the LLC fill (read) and dirty
+// writeback stream.
+package cache
+
+import "fmt"
+
+// LineSize is the cache line size in bytes.
+const LineSize = 64
+
+// Stats holds per-cache event counters.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Writebacks uint64 // dirty evictions
+}
+
+// Accesses returns hits+misses.
+func (s Stats) Accesses() uint64 { return s.Hits + s.Misses }
+
+// MissRate returns the miss ratio (0 when there were no accesses).
+func (s Stats) MissRate() float64 {
+	if s.Accesses() == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses())
+}
+
+type way struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	used  uint64 // LRU timestamp
+}
+
+// Cache is one set-associative write-back cache level. Addresses are in
+// line units (byte address / 64). Not safe for concurrent use.
+type Cache struct {
+	name  string
+	sets  uint64
+	ways  int
+	data  []way // sets*ways, row-major
+	tick  uint64
+	stats Stats
+}
+
+// New builds a cache of sizeBytes capacity with the given
+// associativity. sizeBytes must be a multiple of ways*LineSize and the
+// resulting set count must be a power of two (true for all the paper's
+// configurations).
+func New(name string, sizeBytes, ways int) *Cache {
+	if sizeBytes <= 0 || ways <= 0 || sizeBytes%(ways*LineSize) != 0 {
+		panic(fmt.Sprintf("cache %s: invalid geometry size=%d ways=%d", name, sizeBytes, ways))
+	}
+	sets := uint64(sizeBytes / (ways * LineSize))
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: set count %d not a power of two", name, sets))
+	}
+	return &Cache{
+		name: name,
+		sets: sets,
+		ways: ways,
+		data: make([]way, int(sets)*ways),
+	}
+}
+
+// Name returns the cache's label.
+func (c *Cache) Name() string { return c.name }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters without flushing contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+func (c *Cache) set(lineAddr uint64) []way {
+	idx := lineAddr & (c.sets - 1)
+	return c.data[idx*uint64(c.ways) : (idx+1)*uint64(c.ways)]
+}
+
+// Victim describes an evicted line.
+type Victim struct {
+	LineAddr uint64
+	Dirty    bool
+}
+
+// Access looks up lineAddr, allocating it on a miss. write marks the
+// line dirty. It returns whether the lookup hit and, when an eviction
+// was needed, the victim line (ok=false when an invalid way was
+// filled).
+func (c *Cache) Access(lineAddr uint64, write bool) (hit bool, victim Victim, evicted bool) {
+	c.tick++
+	set := c.set(lineAddr)
+	tag := lineAddr / c.sets
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.tag == tag {
+			w.used = c.tick
+			if write {
+				w.dirty = true
+			}
+			c.stats.Hits++
+			return true, Victim{}, false
+		}
+	}
+	c.stats.Misses++
+	// Choose an invalid way, else the LRU way.
+	vi := -1
+	for i := range set {
+		if !set[i].valid {
+			vi = i
+			break
+		}
+	}
+	if vi == -1 {
+		vi = 0
+		for i := 1; i < len(set); i++ {
+			if set[i].used < set[vi].used {
+				vi = i
+			}
+		}
+		v := set[vi]
+		victim = Victim{LineAddr: v.tag*c.sets + lineAddr&(c.sets-1), Dirty: v.dirty}
+		evicted = true
+		c.stats.Evictions++
+		if v.dirty {
+			c.stats.Writebacks++
+		}
+	}
+	set[vi] = way{tag: tag, valid: true, dirty: write, used: c.tick}
+	return false, victim, evicted
+}
+
+// Contains reports whether lineAddr is cached (without touching LRU).
+func (c *Cache) Contains(lineAddr uint64) bool {
+	set := c.set(lineAddr)
+	tag := lineAddr / c.sets
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate drops lineAddr if present, returning whether it was dirty.
+func (c *Cache) Invalidate(lineAddr uint64) (present, dirty bool) {
+	set := c.set(lineAddr)
+	tag := lineAddr / c.sets
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			d := set[i].dirty
+			set[i] = way{}
+			return true, d
+		}
+	}
+	return false, false
+}
+
+// MemoryEvent is what the hierarchy emits toward the memory controller.
+type MemoryEvent struct {
+	LineAddr uint64
+	Write    bool // true for a dirty LLC writeback, false for a fill
+}
+
+// Hierarchy is a three-level cache stack. On an LLC miss it emits a
+// fill event; dirty evictions propagate down and eventually emit
+// writeback events.
+type Hierarchy struct {
+	L1, L2, L3 *Cache
+	// Events collects the memory-bound events of the latest Access in
+	// issue order (at most: 1 fill + writebacks).
+	Events []MemoryEvent
+}
+
+// NewHierarchy builds the paper's single-core hierarchy with the given
+// L3 (pass a shared L3 for multi-core setups).
+func NewHierarchy(l3 *Cache) *Hierarchy {
+	return &Hierarchy{
+		L1: New("l1d", 64<<10, 8),
+		L2: New("l2", 512<<10, 8),
+		L3: l3,
+	}
+}
+
+// ResetStats clears the counters of every level (note a shared L3 is
+// reset too).
+func (h *Hierarchy) ResetStats() {
+	h.L1.ResetStats()
+	h.L2.ResetStats()
+	h.L3.ResetStats()
+}
+
+// Access runs one CPU load/store through the hierarchy. It returns the
+// level that served the request (1, 2, 3) or 4 for main memory, and
+// populates h.Events with the memory traffic this access generated.
+func (h *Hierarchy) Access(lineAddr uint64, write bool) int {
+	h.Events = h.Events[:0]
+
+	if hit, _, _ := h.accessLevel(h.L1, h.L2, lineAddr, write); hit {
+		return 1
+	}
+	// L1 missed (allocation and its eviction already handled).
+	if hit, _, _ := h.accessLevel(h.L2, h.L3, lineAddr, false); hit {
+		return 2
+	}
+	hit, victim, evicted := h.L3.Access(lineAddr, false)
+	if evicted && victim.Dirty {
+		h.Events = append(h.Events, MemoryEvent{LineAddr: victim.LineAddr, Write: true})
+	}
+	if hit {
+		return 3
+	}
+	h.Events = append(h.Events, MemoryEvent{LineAddr: lineAddr, Write: false})
+	return 4
+}
+
+// accessLevel accesses upper; a dirty victim is installed into lower
+// (which may itself evict, cascading into h.Events when lower is L3).
+func (h *Hierarchy) accessLevel(upper, lower *Cache, lineAddr uint64, write bool) (bool, Victim, bool) {
+	hit, victim, evicted := upper.Access(lineAddr, write)
+	if evicted && victim.Dirty {
+		h.installDirty(lower, victim.LineAddr)
+	}
+	return hit, victim, evicted
+}
+
+// installDirty writes a dirty line into level c (write-allocate). Any
+// dirty line this displaces cascades further down; below L3 is memory.
+func (h *Hierarchy) installDirty(c *Cache, lineAddr uint64) {
+	_, victim, evicted := c.Access(lineAddr, true)
+	if !evicted || !victim.Dirty {
+		return
+	}
+	switch c {
+	case h.L2:
+		h.installDirty(h.L3, victim.LineAddr)
+	case h.L3:
+		h.Events = append(h.Events, MemoryEvent{LineAddr: victim.LineAddr, Write: true})
+	default:
+		panic("cache: installDirty on unexpected level")
+	}
+}

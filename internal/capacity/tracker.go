@@ -1,0 +1,204 @@
+package capacity
+
+import (
+	"compresso/internal/compress"
+	"compresso/internal/memctl"
+	"compresso/internal/workload"
+)
+
+// tracker maintains, incrementally, the storage footprint the image
+// would occupy under each storage model. A full compression pass runs
+// once at construction; afterwards only stored-to lines are
+// recompressed and only dirty pages re-priced — this is what makes the
+// profiling stage affordable at full trace length.
+type tracker struct {
+	img   *workload.Image
+	pages int
+	codec compress.Codec
+
+	lineRaw []uint8 // raw compressed size per line (0..64)
+
+	bytes  [NSizers][]int32
+	totals [NSizers]int64
+
+	dirty map[uint32]struct{}
+	buf   [memctl.LineBytes]byte
+}
+
+func newTracker(img *workload.Image) *tracker {
+	t := &tracker{
+		img:     img,
+		pages:   img.FootprintPages(),
+		codec:   compress.BPC{},
+		lineRaw: make([]uint8, img.Lines()),
+		dirty:   make(map[uint32]struct{}),
+	}
+	for s := Sizer(0); s < NSizers; s++ {
+		t.bytes[s] = make([]int32, t.pages)
+	}
+	for p := 0; p < t.pages; p++ {
+		base := uint64(p) * memctl.LinesPerPage
+		for l := uint64(0); l < memctl.LinesPerPage; l++ {
+			t.lineRaw[base+l] = t.rawSize(base + l)
+		}
+		t.priceFresh(uint32(p))
+	}
+	for s := Sizer(0); s < NSizers; s++ {
+		for p := 0; p < t.pages; p++ {
+			t.totals[s] += int64(t.bytes[s][p])
+		}
+	}
+	return t
+}
+
+func (t *tracker) rawSize(lineAddr uint64) uint8 {
+	t.img.ReadLine(lineAddr, t.buf[:])
+	n := t.codec.Compress(t.buf[:], t.buf[:]) // in-place safe: result <= input
+	return uint8(n)
+}
+
+// noteStore re-prices one stored-to line and marks its page dirty.
+func (t *tracker) noteStore(lineAddr uint64) {
+	t.lineRaw[lineAddr] = t.rawSize(lineAddr)
+	t.dirty[uint32(lineAddr/memctl.LinesPerPage)] = struct{}{}
+}
+
+// refresh re-prices dirty pages, applying no-repack watermarks.
+func (t *tracker) refresh() {
+	for p := range t.dirty {
+		old := [NSizers]int32{}
+		for s := Sizer(0); s < NSizers; s++ {
+			old[s] = t.bytes[s][p]
+		}
+		t.priceDirty(p, old)
+		for s := Sizer(0); s < NSizers; s++ {
+			t.totals[s] += int64(t.bytes[s][p] - old[s])
+		}
+	}
+	t.dirty = make(map[uint32]struct{})
+}
+
+// priceFresh prices page p from scratch (construction).
+func (t *tracker) priceFresh(p uint32) {
+	raws := t.lineRaw[uint64(p)*memctl.LinesPerPage : uint64(p+1)*memctl.LinesPerPage]
+	t.bytes[Uncompressed][p] = memctl.PageSize
+	c := compressoPageBytes(raws)
+	t.bytes[Compresso][p] = c
+	t.bytes[CompressoNoRepack][p] = c
+	t.bytes[LCP][p] = lcpPageBytes(raws, compress.LegacyBins)
+	t.bytes[LCPAlign][p] = lcpPageBytes(raws, compress.CompressoBins)
+}
+
+// priceDirty re-prices page p after stores: repacking systems track
+// the fresh packing; non-repacking systems only ever grow (§IV-B4,
+// Fig. 7 — "a page only grows in size from its allocation").
+func (t *tracker) priceDirty(p uint32, old [NSizers]int32) {
+	raws := t.lineRaw[uint64(p)*memctl.LinesPerPage : uint64(p+1)*memctl.LinesPerPage]
+	t.bytes[Compresso][p] = compressoPageBytes(raws)
+	t.bytes[CompressoNoRepack][p] = maxI32(old[CompressoNoRepack], compressoPageBytes(raws))
+	t.bytes[LCP][p] = maxI32(old[LCP], lcpPageBytes(raws, compress.LegacyBins))
+	t.bytes[LCPAlign][p] = maxI32(old[LCPAlign], lcpPageBytes(raws, compress.CompressoBins))
+}
+
+func maxI32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (t *tracker) footprintBytes() int64 {
+	return int64(t.pages) * memctl.PageSize
+}
+
+func (t *tracker) storageBytes(s Sizer) int64 { return t.totals[s] }
+
+// ratios returns footprint/storage per sizer.
+func (t *tracker) ratios() [NSizers]float64 {
+	var out [NSizers]float64
+	fp := float64(t.footprintBytes())
+	for s := Sizer(0); s < NSizers; s++ {
+		if t.totals[s] <= 0 {
+			out[s] = fp // fully-zero image: effectively unbounded
+			continue
+		}
+		out[s] = fp / float64(t.totals[s])
+	}
+	return out
+}
+
+// CompressoPageBytes prices a page (given its lines' raw compressed
+// sizes) under Compresso's storage model: LinePack with
+// alignment-friendly bins, incremental 512 B chunks, 8 page sizes,
+// zero pages free. Exported for the Fig. 2 packing-comparison
+// experiment.
+func CompressoPageBytes(raws []uint8) int32 { return compressoPageBytes(raws) }
+
+// LCPPageBytes prices a page under LCP-packing with the given line
+// bins (4 page sizes, exceptions at 64 B). Exported for Fig. 2.
+func LCPPageBytes(raws []uint8, bins compress.Bins) int32 { return lcpPageBytes(raws, bins) }
+
+// LinePackPageBytes prices a page under pure LinePack with arbitrary
+// bins and 8 incremental page sizes (the Fig. 2 LinePack bars, which
+// predate the alignment-friendly bin choice).
+func LinePackPageBytes(raws []uint8, bins compress.Bins) int32 {
+	fresh := 0
+	for _, r := range raws {
+		fresh += bins.Fit(int(r))
+	}
+	if fresh == 0 {
+		return 0
+	}
+	chunks := (fresh + 511) / 512
+	return int32(chunks * 512)
+}
+
+// compressoPageBytes prices a page under Compresso's storage model:
+// LinePack with alignment-friendly bins, incremental 512 B chunks,
+// 8 page sizes, zero pages free.
+func compressoPageBytes(raws []uint8) int32 {
+	fresh := 0
+	for _, r := range raws {
+		fresh += compress.CompressoBins.Fit(int(r))
+	}
+	if fresh == 0 {
+		return 0
+	}
+	chunks := (fresh + 511) / 512
+	return int32(chunks * 512)
+}
+
+// lcpPageBytes prices a page under LCP-packing with the given line
+// bins: all lines at the best single target size, exceptions
+// uncompressed, rounded to the 4 LCP page sizes.
+func lcpPageBytes(raws []uint8, bins compress.Bins) int32 {
+	allZero := true
+	for _, r := range raws {
+		if r != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		return 0
+	}
+	best := 1 << 30
+	for _, tb := range bins.Sizes() {
+		exc := 0
+		for _, r := range raws {
+			if r != 0 && int(r) > tb {
+				exc++
+			}
+		}
+		total := len(raws)*tb + exc*memctl.LineBytes
+		if total < best {
+			best = total
+		}
+	}
+	for _, size := range []int{512, 1024, 2048, 4096} {
+		if best <= size {
+			return int32(size)
+		}
+	}
+	return 4096
+}

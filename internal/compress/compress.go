@@ -1,0 +1,107 @@
+// Package compress implements the cache-line compression algorithms
+// evaluated in the Compresso paper (MICRO 2018): Bit-Plane Compression
+// (BPC) with the Compresso best-of-transform modification, Base-Delta-
+// Immediate (BDI), and Frequent Pattern Compression (FPC).
+//
+// All codecs operate on 64-byte cache lines (LineSize), the compression
+// granularity Compresso uses (§II-A of the paper). Compressed sizes are
+// in bytes; the memory controller quantizes them to line-size bins
+// (Bins) before placing lines in compressed pages.
+//
+// Size conventions shared by every codec:
+//
+//   - A result of 0 bytes means the line is all zeros. Zero lines are
+//     served from metadata alone by the controller and occupy no space.
+//   - A result of LineSize (64) bytes means the codec stored the line
+//     uncompressed because encoding would not have fit in 63 bytes.
+//   - Any other size n in (0, 64) is a self-contained codec stream that
+//     Decompress can expand given exactly n bytes.
+package compress
+
+import "fmt"
+
+// LineSize is the compression granularity in bytes: one CPU cache line.
+const LineSize = 64
+
+// WordsPerLine is the number of 32-bit words in a cache line.
+const WordsPerLine = LineSize / 4
+
+// Codec compresses and decompresses single cache lines.
+type Codec interface {
+	// Name identifies the algorithm (e.g. "bpc", "bdi", "fpc").
+	Name() string
+
+	// Compress encodes the 64-byte line src into dst and returns the
+	// number of bytes written, following the package size conventions.
+	// dst must have room for LineSize bytes. It panics if len(src) is
+	// not LineSize (programmer error, not data error).
+	Compress(dst, src []byte) int
+
+	// Decompress expands a compressed stream of exactly the length
+	// returned by Compress into the 64-byte dst. It returns an error
+	// if the stream is corrupt.
+	Decompress(dst, src []byte) error
+}
+
+// IsZeroLine reports whether all bytes of the line are zero.
+func IsZeroLine(src []byte) bool {
+	for _, b := range src {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Size returns the compressed size in bytes of src under codec c,
+// using a stack scratch buffer.
+func Size(c Codec, src []byte) int {
+	var scratch [LineSize]byte
+	return c.Compress(scratch[:], src)
+}
+
+// Ratio returns the compression ratio (original/compressed) achieved by
+// codec c over the given lines after quantizing each line to bins.
+// Zero lines count as bins' smallest size (normally 0); a wholly
+// incompressible stream approaches 1.0.
+func Ratio(c Codec, bins Bins, lines [][]byte) float64 {
+	if len(lines) == 0 {
+		return 1
+	}
+	total := 0
+	for _, ln := range lines {
+		total += bins.Fit(Size(c, ln))
+	}
+	if total == 0 {
+		// All-zero data compresses "infinitely"; report the count of a
+		// single metadata-sized remainder to keep the figure finite.
+		total = 1
+	}
+	return float64(len(lines)*LineSize) / float64(total)
+}
+
+func checkLine(src []byte) {
+	if len(src) != LineSize {
+		panic(fmt.Sprintf("compress: line length %d, want %d", len(src), LineSize))
+	}
+}
+
+func loadWords(src []byte) [WordsPerLine]uint32 {
+	var w [WordsPerLine]uint32
+	for i := range w {
+		o := i * 4
+		// Little-endian, matching the x86 systems the paper models.
+		w[i] = uint32(src[o]) | uint32(src[o+1])<<8 | uint32(src[o+2])<<16 | uint32(src[o+3])<<24
+	}
+	return w
+}
+
+func storeWords(dst []byte, w [WordsPerLine]uint32) {
+	for i, v := range w {
+		o := i * 4
+		dst[o] = byte(v)
+		dst[o+1] = byte(v >> 8)
+		dst[o+2] = byte(v >> 16)
+		dst[o+3] = byte(v >> 24)
+	}
+}

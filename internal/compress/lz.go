@@ -1,0 +1,162 @@
+package compress
+
+import (
+	"fmt"
+	"math/bits"
+
+	"compresso/internal/bitstream"
+)
+
+// This file implements a small LZ77 compressor. The paper's survey
+// (§II-A) notes LZ achieves the highest compression of the candidate
+// algorithms but costs too much energy for the inline path; IBM MXT
+// used it at 1 KB granularity and DMC uses it for cold pages. We
+// provide it both as a 64 B line Codec (LZ) and as block functions for
+// the MXT/DMC-style coarse-granularity baselines.
+//
+// Format, MSB-first: a sequence of tokens until the decoded length
+// reaches the block size.
+//
+//	0 + 8 bits            literal byte
+//	1 + off + len         copy (length 3..maxLen) from distance off+1
+//
+// off is ceil(log2(blockSize)) bits, len is 6 bits storing length-3.
+
+const lzLenBits = 6
+const lzMinMatch = 3
+const lzMaxMatch = (1 << lzLenBits) - 1 + lzMinMatch
+
+func lzOffBits(blockSize int) int {
+	if blockSize <= 1 {
+		return 1
+	}
+	return bits.Len(uint(blockSize - 1))
+}
+
+// LZCompressBlock compresses src into dst following the package size
+// conventions generalized to the block size: 0 means all-zero,
+// len(src) means stored raw. dst must hold len(src) bytes.
+func LZCompressBlock(dst, src []byte) int {
+	if len(src) == 0 {
+		return 0
+	}
+	allZero := true
+	for _, b := range src {
+		if b != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		return 0
+	}
+	offBits := lzOffBits(len(src))
+	w := bitstream.NewWriter(len(src))
+	for i := 0; i < len(src); {
+		bestLen, bestOff := 0, 0
+		// Greedy longest match within the already-emitted window.
+		maxBack := i
+		if maxBack > 1<<offBits {
+			maxBack = 1 << offBits
+		}
+		for off := 1; off <= maxBack; off++ {
+			l := 0
+			for i+l < len(src) && l < lzMaxMatch && src[i+l] == src[i-off+l] {
+				l++
+			}
+			if l > bestLen {
+				bestLen, bestOff = l, off
+			}
+		}
+		if bestLen >= lzMinMatch {
+			w.WriteBit(1)
+			w.WriteBits(uint64(bestOff-1), offBits)
+			w.WriteBits(uint64(bestLen-lzMinMatch), lzLenBits)
+			i += bestLen
+		} else {
+			w.WriteBit(0)
+			w.WriteBits(uint64(src[i]), 8)
+			i++
+		}
+		if w.Len() >= len(src) {
+			copy(dst[:len(src)], src)
+			return len(src)
+		}
+	}
+	copy(dst, w.Bytes())
+	return w.Len()
+}
+
+// LZDecompressBlock expands a stream produced by LZCompressBlock into
+// dst (whose length is the original block size).
+func LZDecompressBlock(dst, src []byte) error {
+	switch {
+	case len(src) == 0:
+		for i := range dst {
+			dst[i] = 0
+		}
+		return nil
+	case len(src) == len(dst):
+		copy(dst, src)
+		return nil
+	case len(src) > len(dst):
+		return fmt.Errorf("lz: stream longer than block (%d > %d)", len(src), len(dst))
+	}
+	offBits := lzOffBits(len(dst))
+	r := bitstream.NewReader(src)
+	i := 0
+	for i < len(dst) {
+		flag, err := r.ReadBit()
+		if err != nil {
+			return fmt.Errorf("lz: truncated token at byte %d: %w", i, err)
+		}
+		if flag == 0 {
+			b, err := r.ReadBits(8)
+			if err != nil {
+				return fmt.Errorf("lz: truncated literal: %w", err)
+			}
+			dst[i] = byte(b)
+			i++
+			continue
+		}
+		off, err := r.ReadBits(offBits)
+		if err != nil {
+			return fmt.Errorf("lz: truncated offset: %w", err)
+		}
+		l, err := r.ReadBits(lzLenBits)
+		if err != nil {
+			return fmt.Errorf("lz: truncated length: %w", err)
+		}
+		dist := int(off) + 1
+		length := int(l) + lzMinMatch
+		if dist > i {
+			return fmt.Errorf("lz: match distance %d beyond %d decoded bytes", dist, i)
+		}
+		if i+length > len(dst) {
+			return fmt.Errorf("lz: match of %d overflows block at %d", length, i)
+		}
+		for k := 0; k < length; k++ {
+			dst[i] = dst[i-dist]
+			i++
+		}
+	}
+	return nil
+}
+
+// LZ is the 64-byte-line Codec wrapper around the block compressor.
+type LZ struct{}
+
+// Name implements Codec.
+func (LZ) Name() string { return "lz" }
+
+// Compress implements Codec.
+func (LZ) Compress(dst, src []byte) int {
+	checkLine(src)
+	return LZCompressBlock(dst, src)
+}
+
+// Decompress implements Codec.
+func (LZ) Decompress(dst, src []byte) error {
+	checkLine(dst)
+	return LZDecompressBlock(dst, src)
+}

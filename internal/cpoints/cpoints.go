@@ -1,0 +1,280 @@
+// Package cpoints implements SimPoints and CompressPoints (§VI-B,
+// Fig. 9): k-means clustering of execution intervals to pick
+// simulation regions.
+//
+// SimPoints cluster on basic-block vectors alone, which correlate with
+// pipeline and cache behaviour but are blind to data compressibility;
+// CompressPoints (Choukse et al., CAL 2018) extend the feature vector
+// with compression metrics (ratio, overflow/underflow rates, memory
+// usage), making the chosen regions representative of compressibility
+// too. Our BBV analogue is the interval's access-behaviour signature
+// (region histogram + read/write mix), which, like real BBVs, does not
+// see data values.
+package cpoints
+
+import (
+	"math"
+
+	"compresso/internal/compress"
+	"compresso/internal/memctl"
+	"compresso/internal/rng"
+	"compresso/internal/workload"
+)
+
+// Interval is one profiled execution interval.
+type Interval struct {
+	// BBV is the behaviour signature: footprint-region access
+	// histogram plus read/write mix (the SimPoint feature set).
+	BBV []float64
+
+	// Compression metrics (the CompressPoint extension).
+	Ratio      float64 // image compression ratio at interval end
+	Overflows  float64 // line-size increases per kilo-op
+	Underflows float64 // line-size decreases per kilo-op
+	MemUsage   float64 // compressed bytes / footprint
+}
+
+// regions is the BBV histogram resolution.
+const regions = 16
+
+// Profile runs the workload and returns per-interval features.
+func Profile(prof workload.Profile, seed uint64, intervals int, opsPerInterval uint64) []Interval {
+	tr := workload.NewTrace(prof, seed, uint64(intervals)*opsPerInterval)
+	img := tr.Image()
+	codec := compress.BPC{}
+	bins := compress.CompressoBins
+
+	// Track per-line binned sizes to count overflow/underflow events.
+	lineBin := make([]uint8, img.Lines())
+	var buf [memctl.LineBytes]byte
+	binOf := func(addr uint64) uint8 {
+		img.ReadLine(addr, buf[:])
+		return uint8(bins.Code(codec.Compress(buf[:], buf[:])))
+	}
+
+	out := make([]Interval, 0, intervals)
+	var op workload.Op
+	for iv := 0; iv < intervals; iv++ {
+		hist := make([]float64, regions+2)
+		var over, under float64
+		for i := uint64(0); i < opsPerInterval; i++ {
+			tr.Next(&op)
+			page := op.LineAddr / memctl.LinesPerPage
+			region := int(page * regions / uint64(img.FootprintPages()))
+			if region >= regions {
+				region = regions - 1
+			}
+			hist[region]++
+			if op.Write {
+				hist[regions]++
+				old := lineBin[op.LineAddr]
+				nb := binOf(op.LineAddr)
+				lineBin[op.LineAddr] = nb
+				switch {
+				case nb > old:
+					over++
+				case nb < old:
+					under++
+				}
+			} else {
+				hist[regions+1]++
+			}
+		}
+		norm := float64(opsPerInterval)
+		for i := range hist {
+			hist[i] /= norm
+		}
+		ratio := img.MeasureRatio(codec, bins, 8)
+		out = append(out, Interval{
+			BBV:        hist,
+			Ratio:      ratio,
+			Overflows:  over / norm * 1000,
+			Underflows: under / norm * 1000,
+			MemUsage:   1 / ratio,
+		})
+	}
+	return out
+}
+
+// SimPointFeatures returns the BBV-only feature vector.
+func SimPointFeatures(iv Interval) []float64 {
+	out := make([]float64, len(iv.BBV))
+	copy(out, iv.BBV)
+	return out
+}
+
+// CompressPointFeatures returns BBV plus compression metrics, scaled
+// so the compression dimensions carry comparable weight.
+func CompressPointFeatures(iv Interval) []float64 {
+	out := SimPointFeatures(iv)
+	return append(out, iv.Ratio/4, iv.Overflows/10, iv.Underflows/10, iv.MemUsage)
+}
+
+// KMeans clusters the feature vectors into k clusters (k-means++,
+// deterministic given seed) and returns each vector's assignment.
+func KMeans(features [][]float64, k int, seed uint64) []int {
+	n := len(features)
+	if n == 0 || k <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	r := rng.New(seed)
+	dim := len(features[0])
+
+	// k-means++ seeding.
+	centroids := make([][]float64, 0, k)
+	centroids = append(centroids, append([]float64(nil), features[r.Intn(n)]...))
+	for len(centroids) < k {
+		dists := make([]float64, n)
+		total := 0.0
+		for i, f := range features {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := sqDist(f, c); d < best {
+					best = d
+				}
+			}
+			dists[i] = best
+			total += best
+		}
+		u := r.Float64() * total
+		pick := 0
+		for i, d := range dists {
+			u -= d
+			if u <= 0 {
+				pick = i
+				break
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), features[pick]...))
+	}
+
+	assign := make([]int, n)
+	for iter := 0; iter < 100; iter++ {
+		changed := false
+		for i, f := range features {
+			best, bd := 0, math.Inf(1)
+			for c := range centroids {
+				if d := sqDist(f, centroids[c]); d < bd {
+					best, bd = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		for c := range centroids {
+			sum := make([]float64, dim)
+			count := 0
+			for i, f := range features {
+				if assign[i] == c {
+					for d := range f {
+						sum[d] += f[d]
+					}
+					count++
+				}
+			}
+			if count > 0 {
+				for d := range sum {
+					sum[d] /= float64(count)
+				}
+				centroids[c] = sum
+			}
+		}
+	}
+	return assign
+}
+
+func sqDist(a, b []float64) float64 {
+	total := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		total += d * d
+	}
+	return total
+}
+
+// Pick selects one representative interval per cluster (the one
+// closest to the cluster mean) and its weight (cluster share).
+func Pick(features [][]float64, assign []int, k int) (picks []int, weights []float64) {
+	n := len(features)
+	if n == 0 {
+		return nil, nil
+	}
+	dim := len(features[0])
+	for c := 0; c < k; c++ {
+		mean := make([]float64, dim)
+		count := 0
+		for i := range features {
+			if assign[i] == c {
+				for d := range mean {
+					mean[d] += features[i][d]
+				}
+				count++
+			}
+		}
+		if count == 0 {
+			continue
+		}
+		for d := range mean {
+			mean[d] /= float64(count)
+		}
+		best, bd := -1, math.Inf(1)
+		for i := range features {
+			if assign[i] != c {
+				continue
+			}
+			if d := sqDist(features[i], mean); d < bd {
+				best, bd = i, d
+			}
+		}
+		picks = append(picks, best)
+		weights = append(weights, float64(count)/float64(n))
+	}
+	return picks, weights
+}
+
+// WeightedRatio estimates the whole run's compression ratio from the
+// picked intervals — the quantity Fig. 9 compares between SimPoints
+// and CompressPoints.
+func WeightedRatio(intervals []Interval, picks []int, weights []float64) float64 {
+	total := 0.0
+	for i, p := range picks {
+		total += intervals[p].Ratio * weights[i]
+	}
+	return total
+}
+
+// TrueMeanRatio is the ground truth: the mean ratio over all
+// intervals.
+func TrueMeanRatio(intervals []Interval) float64 {
+	total := 0.0
+	for _, iv := range intervals {
+		total += iv.Ratio
+	}
+	return total / float64(len(intervals))
+}
+
+// Representativeness runs the full pipeline for both feature sets and
+// returns the absolute ratio-estimation error of each.
+func Representativeness(intervals []Interval, k int, seed uint64) (simErr, compErr float64) {
+	truth := TrueMeanRatio(intervals)
+	simF := make([][]float64, len(intervals))
+	compF := make([][]float64, len(intervals))
+	for i, iv := range intervals {
+		simF[i] = SimPointFeatures(iv)
+		compF[i] = CompressPointFeatures(iv)
+	}
+	sa := KMeans(simF, k, seed)
+	sp, sw := Pick(simF, sa, k)
+	ca := KMeans(compF, k, seed)
+	cp, cw := Pick(compF, ca, k)
+	return math.Abs(WeightedRatio(intervals, sp, sw) - truth),
+		math.Abs(WeightedRatio(intervals, cp, cw) - truth)
+}

@@ -1,0 +1,168 @@
+package cpoints
+
+import (
+	"math"
+	"testing"
+
+	"compresso/internal/datagen"
+	"compresso/internal/workload"
+)
+
+func smallGems() workload.Profile {
+	p, _ := workload.ByName("GemsFDTD")
+	p.FootprintPages = 96
+	p.HotFraction = 0.9
+	p.HotProb = 0.9
+	p.WriteFrac = 0.8
+	return p
+}
+
+// fig9Profile is a GemsFDTD-style workload whose compressibility
+// swings violently across phases while the access pattern (the BBV
+// signature) stays identical — exactly the case Fig. 9 makes.
+func fig9Profile() workload.Profile {
+	p, _ := workload.ByName("GemsFDTD")
+	p.FootprintPages = 64
+	p.HotFraction = 1
+	p.HotProb = 1
+	p.ZipfTheta = 0.05
+	p.WriteFrac = 0.9
+	p.SpatialRun = 8
+	var random datagen.Mix
+	random[datagen.Random] = 1
+	p.Phases = []workload.Phase{
+		{Frac: 1, KindChange: 0.7, ZeroStore: 1},
+		{Frac: 1, KindChange: 0.7, ZeroStore: 0, StoreKind: random},
+		{Frac: 1, KindChange: 0.7, ZeroStore: 1},
+	}
+	return p
+}
+
+func TestProfileShapes(t *testing.T) {
+	ivs := Profile(smallGems(), 3, 6, 4000)
+	if len(ivs) != 6 {
+		t.Fatalf("%d intervals", len(ivs))
+	}
+	for i, iv := range ivs {
+		if len(iv.BBV) != regions+2 {
+			t.Fatalf("interval %d: BBV dim %d", i, len(iv.BBV))
+		}
+		if iv.Ratio <= 0 {
+			t.Fatalf("interval %d: ratio %v", i, iv.Ratio)
+		}
+		sum := 0.0
+		for _, v := range iv.BBV[:regions] {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("interval %d: region histogram sums to %v", i, sum)
+		}
+	}
+}
+
+func TestPhasedBenchmarkHasRatioVariance(t *testing.T) {
+	ivs := Profile(smallGems(), 3, 9, 4000)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, iv := range ivs {
+		lo = math.Min(lo, iv.Ratio)
+		hi = math.Max(hi, iv.Ratio)
+	}
+	if hi-lo < 0.15 {
+		t.Fatalf("ratio range [%.2f, %.2f] too flat for a phased benchmark", lo, hi)
+	}
+}
+
+func TestKMeansBasics(t *testing.T) {
+	features := [][]float64{
+		{0, 0}, {0.1, 0}, {0, 0.1},
+		{5, 5}, {5.1, 5}, {5, 5.1},
+	}
+	assign := KMeans(features, 2, 1)
+	if len(assign) != 6 {
+		t.Fatalf("assign len %d", len(assign))
+	}
+	if assign[0] != assign[1] || assign[1] != assign[2] {
+		t.Fatalf("tight cluster split: %v", assign)
+	}
+	if assign[3] != assign[4] || assign[4] != assign[5] {
+		t.Fatalf("tight cluster split: %v", assign)
+	}
+	if assign[0] == assign[3] {
+		t.Fatalf("distinct clusters merged: %v", assign)
+	}
+}
+
+func TestKMeansEdgeCases(t *testing.T) {
+	if KMeans(nil, 3, 1) != nil {
+		t.Fatal("empty input")
+	}
+	one := [][]float64{{1, 2}}
+	if a := KMeans(one, 5, 1); len(a) != 1 || a[0] != 0 {
+		t.Fatalf("k>n assign %v", a)
+	}
+}
+
+func TestPickWeightsSumToOne(t *testing.T) {
+	features := [][]float64{{0}, {0.1}, {10}, {10.1}, {10.2}}
+	assign := KMeans(features, 2, 7)
+	picks, weights := Pick(features, assign, 2)
+	if len(picks) != 2 {
+		t.Fatalf("picks %v", picks)
+	}
+	sum := 0.0
+	for _, w := range weights {
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights sum %v", sum)
+	}
+	for _, p := range picks {
+		if p < 0 || p >= len(features) {
+			t.Fatalf("pick %d out of range", p)
+		}
+	}
+}
+
+// TestCompressPointsBeatSimPoints reproduces Fig. 9's message: for a
+// benchmark whose compressibility phases are invisible to BBVs,
+// CompressPoints estimate the true mean ratio better than SimPoints.
+func TestCompressPointsBeatSimPoints(t *testing.T) {
+	ivs := Profile(fig9Profile(), 5, 12, 6000)
+	var simTotal, compTotal float64
+	const trials = 9
+	for seed := uint64(0); seed < trials; seed++ {
+		simErr, compErr := Representativeness(ivs, 3, seed)
+		t.Logf("seed %d: simpoint err %.3f, compresspoint err %.3f", seed, simErr, compErr)
+		simTotal += simErr
+		compTotal += compErr
+	}
+	if compTotal >= simTotal {
+		t.Fatalf("compresspoints mean err %.3f not below simpoints %.3f",
+			compTotal/trials, simTotal/trials)
+	}
+}
+
+func TestWeightedRatio(t *testing.T) {
+	ivs := []Interval{{Ratio: 1}, {Ratio: 3}}
+	got := WeightedRatio(ivs, []int{0, 1}, []float64{0.5, 0.5})
+	if got != 2 {
+		t.Fatalf("weighted ratio %v", got)
+	}
+	if TrueMeanRatio(ivs) != 2 {
+		t.Fatal("true mean wrong")
+	}
+}
+
+func TestFeatureVectors(t *testing.T) {
+	iv := Interval{BBV: []float64{0.5, 0.5}, Ratio: 2, Overflows: 4, Underflows: 2, MemUsage: 0.5}
+	s := SimPointFeatures(iv)
+	c := CompressPointFeatures(iv)
+	if len(c) != len(s)+4 {
+		t.Fatalf("dims %d vs %d", len(c), len(s))
+	}
+	// SimPointFeatures must copy, not alias.
+	s[0] = 99
+	if iv.BBV[0] == 99 {
+		t.Fatal("feature vector aliases interval")
+	}
+}

@@ -1,0 +1,458 @@
+package dmc
+
+import (
+	"fmt"
+
+	"compresso/internal/compress"
+	"compresso/internal/memctl"
+	"compresso/internal/metadata"
+)
+
+// lzLatency is the added decompression latency for a cold (LZ) block
+// access; LZ is serial and works at 1 KB granularity.
+const lzLatency = 64
+
+// --- metadata path ------------------------------------------------------
+
+func (c *Controller) lookupMetadata(now uint64, page uint64) (*metadata.Line, uint64) {
+	if l, ok := c.mdc.Lookup(page); ok {
+		return l, now + c.cfg.MetadataHitLatency
+	}
+	c.stats.MetadataReads++
+	done := c.mem.Access(now, c.mdMachineLine(page), false)
+	l, evicted := c.mdc.Insert(page, false)
+	for _, ev := range evicted {
+		if ev.Dirty {
+			c.stats.MetadataWrites++
+			c.mem.Access(now, c.mdMachineLine(ev.Page), true)
+		}
+	}
+	return l, done
+}
+
+// --- temperature tracking -----------------------------------------------
+
+func (c *Controller) touchRegion(now uint64, page uint64) {
+	c.regionHits[int(page)/c.cfg.RegionPages]++
+	c.sinceScan++
+	if c.sinceScan >= c.cfg.ReclassifyEvery {
+		c.rescan(now)
+	}
+}
+
+// rescan reclassifies regions by temperature and converts mismatched
+// pages — DMC's mechanism-switch data movement.
+func (c *Controller) rescan(now uint64) {
+	c.sinceScan = 0
+	for r := range c.regionHits {
+		hot := c.regionHits[r] >= c.cfg.HotThreshold
+		c.regionHits[r] = 0
+		for pg := r * c.cfg.RegionPages; pg < (r+1)*c.cfg.RegionPages && pg < len(c.pages); pg++ {
+			p := &c.pages[pg]
+			if !p.valid || p.zero {
+				continue
+			}
+			if c.hasPinned && uint64(pg) == c.pinned {
+				continue
+			}
+			if p.cold == !hot {
+				continue
+			}
+			c.convert(now, uint64(pg), p, !hot)
+		}
+	}
+}
+
+// convert switches a page between the hot (LCP/BDI) and cold (LZ 1 KB)
+// mechanisms, moving the whole page.
+func (c *Controller) convert(now uint64, page uint64, p *dmcPage, toCold bool) {
+	c.MechanismSwitches++
+	var moves uint64
+	// Read the old layout out (nonzero content only, approximated as
+	// the page's current compressed footprint).
+	oldBytes := c.hotPageBytes(p)
+	if p.cold {
+		oldBytes = c.coldPageBytes(p)
+	}
+	for off := 0; off < oldBytes; off += memctl.LineBytes {
+		c.mem.Access(now, c.dataMachineLine(p, off), false)
+		moves++
+	}
+	if toCold {
+		c.priceCold(page, p)
+	} else {
+		c.priceHot(page, p)
+	}
+	p.cold = toCold
+	newBytes := c.hotPageBytes(p)
+	if toCold {
+		newBytes = c.coldPageBytes(p)
+	}
+	newChunks := sizeChunks(newBytes)
+	if newChunks != p.chunks {
+		oldBase := p.base
+		p.base = c.allocBlock(newChunks)
+		c.buddy.Free(oldBase)
+		p.chunks = newChunks
+	}
+	for off := 0; off < newBytes; off += memctl.LineBytes {
+		c.mem.Access(now, c.dataMachineLine(p, off), true)
+		moves++
+	}
+	c.stats.OverflowAccesses += moves
+}
+
+// priceCold recomputes the page's per-block LZ sizes from its data.
+func (c *Controller) priceCold(page uint64, p *dmcPage) {
+	for b := 0; b < blocksPerPage; b++ {
+		for l := 0; l < LZBlockBytes/memctl.LineBytes; l++ {
+			line := b*(LZBlockBytes/memctl.LineBytes) + l
+			c.source.ReadLine(page*metadata.LinesPerPage+uint64(line), c.lineBuf[:])
+			copy(c.blockBuf[l*memctl.LineBytes:], c.lineBuf[:])
+		}
+		n := compress.LZCompressBlock(c.blockComp[:], c.blockBuf[:])
+		// Blocks are stored line-aligned for sane offsets.
+		p.blockBytes[b] = (n + memctl.LineBytes - 1) &^ (memctl.LineBytes - 1)
+	}
+}
+
+// priceHot recomputes the page's LCP layout (target + exceptions).
+func (c *Controller) priceHot(page uint64, p *dmcPage) {
+	for l := 0; l < metadata.LinesPerPage; l++ {
+		c.source.ReadLine(page*metadata.LinesPerPage+uint64(l), c.lineBuf[:])
+		p.actual[l] = c.compressCode(c.lineBuf[:])
+	}
+	best := 1 << 30
+	sizes := c.cfg.Bins.Sizes()
+	for code := range sizes {
+		tb := sizes[code]
+		exc := 0
+		for _, a := range p.actual {
+			if a != 0 && c.cfg.Bins.SizeOf(int(a)) > tb {
+				exc++
+			}
+		}
+		if total := metadata.LinesPerPage*tb + exc*memctl.LineBytes; total < best {
+			best = total
+			p.target = uint8(code)
+		}
+	}
+	p.exc = nil
+	tb := c.targetBytes(p)
+	for l, a := range p.actual {
+		if a != 0 && c.cfg.Bins.SizeOf(int(a)) > tb {
+			p.exc = append(p.exc, l)
+		}
+	}
+}
+
+// --- demand path ----------------------------------------------------------
+
+func (c *Controller) blockOffset(p *dmcPage, b int) int {
+	off := 0
+	for i := 0; i < b; i++ {
+		off += p.blockBytes[i]
+	}
+	return off
+}
+
+// ReadLine implements memctl.Controller.
+func (c *Controller) ReadLine(now uint64, lineAddr uint64) memctl.Result {
+	page, line := lineAddr/metadata.LinesPerPage, int(lineAddr%metadata.LinesPerPage)
+	c.checkPage(page)
+	c.pinned, c.hasPinned = page, true
+	defer func() { c.hasPinned = false }()
+	c.stats.DemandReads++
+	c.touchRegion(now, page)
+
+	l, mdDone := c.lookupMetadata(now, page)
+	p := &c.pages[page]
+	if !p.valid {
+		p.valid = true
+		p.zero = true
+		c.validPages++
+		l.Dirty = true
+	}
+	if p.zero || p.actual[line] == 0 {
+		c.stats.ZeroLineOps++
+		return memctl.Result{Done: mdDone}
+	}
+	if p.cold {
+		// Fetch and decompress the whole 1 KB block.
+		b := line / (LZBlockBytes / memctl.LineBytes)
+		off := c.blockOffset(p, b)
+		var done uint64 = mdDone
+		n := p.blockBytes[b] / memctl.LineBytes
+		if n == 0 {
+			c.stats.ZeroLineOps++
+			return memctl.Result{Done: mdDone}
+		}
+		for i := 0; i < n; i++ {
+			d := c.mem.Access(mdDone, c.dataMachineLine(p, off+i*memctl.LineBytes), false)
+			if i == 0 {
+				c.stats.DataReads++
+			} else {
+				c.stats.SplitAccesses++ // extra accesses of the coarse block
+			}
+			if d > done {
+				done = d
+			}
+		}
+		return memctl.Result{Done: done + lzLatency}
+	}
+	// Hot page: LCP-style.
+	tb := c.targetBytes(p)
+	for slot, ln := range p.exc {
+		if ln == line {
+			off := metadata.LinesPerPage*tb + slot*memctl.LineBytes
+			done := c.mem.Access(mdDone, c.dataMachineLine(p, off), false)
+			c.stats.DataReads++
+			return memctl.Result{Done: done}
+		}
+	}
+	off := line * tb
+	done := c.mem.Access(mdDone, c.dataMachineLine(p, off), false)
+	c.stats.DataReads++
+	if compress.SplitAccess(off, tb) {
+		d2 := c.mem.Access(mdDone, c.dataMachineLine(p, off+tb-1), false)
+		c.stats.SplitAccesses++
+		if d2 > done {
+			done = d2
+		}
+	}
+	return memctl.Result{Done: done + c.cfg.DecompressLatency}
+}
+
+// WriteLine implements memctl.Controller.
+func (c *Controller) WriteLine(now uint64, lineAddr uint64, data []byte) memctl.Result {
+	page, line := lineAddr/metadata.LinesPerPage, int(lineAddr%metadata.LinesPerPage)
+	c.checkPage(page)
+	if len(data) != memctl.LineBytes {
+		panic(fmt.Sprintf("dmc: WriteLine with %d bytes", len(data)))
+	}
+	c.pinned, c.hasPinned = page, true
+	defer func() { c.hasPinned = false }()
+	c.stats.DemandWrites++
+	c.touchRegion(now, page)
+
+	l, mdDone := c.lookupMetadata(now, page)
+	p := &c.pages[page]
+	if !p.valid {
+		p.valid = true
+		p.zero = true
+		c.validPages++
+		l.Dirty = true
+	}
+	newCode := c.compressCode(data)
+	if p.zero {
+		if newCode == 0 {
+			c.stats.ZeroLineOps++
+			return memctl.Result{Done: now}
+		}
+		// Materialize hot with the written line's size as target.
+		p.zero = false
+		p.cold = false
+		p.target = newCode
+		p.actual = [metadata.LinesPerPage]uint8{}
+		p.actual[line] = newCode
+		p.exc = nil
+		p.chunks = sizeChunks(c.hotPageBytes(p))
+		p.base = c.allocBlock(p.chunks)
+		c.mem.Access(mdDone, c.dataMachineLine(p, line*c.targetBytes(p)), true)
+		c.stats.DataWrites++
+		l.Dirty = true
+		return memctl.Result{Done: now}
+	}
+	old := p.actual[line]
+	p.actual[line] = newCode
+	if newCode < old {
+		c.stats.LineUnderflows++
+	}
+
+	if p.cold {
+		// Read-modify-write of the 1 KB block; growth rewrites the page.
+		b := line / (LZBlockBytes / memctl.LineBytes)
+		oldBytes := p.blockBytes[b]
+		c.repriceBlock(page, p, b)
+		var moves uint64
+		reads := oldBytes / memctl.LineBytes
+		for i := 0; i < reads; i++ {
+			c.mem.Access(now, c.dataMachineLine(p, c.blockOffset(p, b)+i*memctl.LineBytes), false)
+			moves++
+		}
+		if p.blockBytes[b] > oldBytes {
+			c.stats.LineOverflows++
+			c.rewriteColdPage(now, p, &moves)
+		} else {
+			writes := p.blockBytes[b] / memctl.LineBytes
+			if writes == 0 {
+				c.stats.ZeroLineOps++
+			}
+			for i := 0; i < writes; i++ {
+				c.mem.Access(now, c.dataMachineLine(p, c.blockOffset(p, b)+i*memctl.LineBytes), true)
+			}
+			if writes > 0 {
+				c.stats.DataWrites++
+				moves += uint64(writes - 1)
+			}
+		}
+		c.stats.OverflowAccesses += moves
+		l.Dirty = true
+		return memctl.Result{Done: now}
+	}
+
+	// Hot page.
+	tb := c.targetBytes(p)
+	for slot, ln := range p.exc {
+		if ln == line {
+			off := metadata.LinesPerPage*tb + slot*memctl.LineBytes
+			c.mem.Access(mdDone, c.dataMachineLine(p, off), true)
+			c.stats.DataWrites++
+			l.Dirty = true
+			return memctl.Result{Done: now}
+		}
+	}
+	if newCode <= p.target {
+		if newCode == 0 {
+			c.stats.ZeroLineOps++
+		} else {
+			off := line * tb
+			c.mem.Access(mdDone, c.dataMachineLine(p, off), true)
+			c.stats.DataWrites++
+			if compress.SplitAccess(off, c.cfg.Bins.SizeOf(int(newCode))) {
+				c.mem.Access(mdDone, c.dataMachineLine(p, off+tb-1), true)
+				c.stats.SplitAccesses++
+			}
+		}
+		l.Dirty = true
+		return memctl.Result{Done: now}
+	}
+	// Overflow into the exception region or page rewrite.
+	c.stats.LineOverflows++
+	if c.hotPageBytes(p)+memctl.LineBytes <= p.chunks*metadata.ChunkSize {
+		p.exc = append(p.exc, line)
+		c.stats.IRPlacements++
+		off := metadata.LinesPerPage*tb + (len(p.exc)-1)*memctl.LineBytes
+		c.mem.Access(mdDone, c.dataMachineLine(p, off), true)
+		c.stats.DataWrites++
+		l.Dirty = true
+		return memctl.Result{Done: now}
+	}
+	c.stats.PageOverflows++
+	c.rewriteHotPage(now, page, p)
+	l.Dirty = true
+	return memctl.Result{Done: now}
+}
+
+// repriceBlock recomputes one cold block's LZ size from source data.
+func (c *Controller) repriceBlock(page uint64, p *dmcPage, b int) {
+	for l := 0; l < LZBlockBytes/memctl.LineBytes; l++ {
+		line := b*(LZBlockBytes/memctl.LineBytes) + l
+		c.source.ReadLine(page*metadata.LinesPerPage+uint64(line), c.lineBuf[:])
+		copy(c.blockBuf[l*memctl.LineBytes:], c.lineBuf[:])
+	}
+	n := compress.LZCompressBlock(c.blockComp[:], c.blockBuf[:])
+	p.blockBytes[b] = (n + memctl.LineBytes - 1) &^ (memctl.LineBytes - 1)
+}
+
+// rewriteColdPage relays out all cold blocks after one grew.
+func (c *Controller) rewriteColdPage(now uint64, p *dmcPage, moves *uint64) {
+	newBytes := c.coldPageBytes(p)
+	newChunks := sizeChunks(newBytes)
+	if newChunks != p.chunks {
+		oldBase := p.base
+		p.base = c.allocBlock(newChunks)
+		c.buddy.Free(oldBase)
+		p.chunks = newChunks
+	}
+	for off := 0; off < newBytes; off += memctl.LineBytes {
+		c.mem.Access(now, c.dataMachineLine(p, off), true)
+		*moves++
+	}
+}
+
+// rewriteHotPage re-targets and relocates a hot page (no OS fault: DMC
+// is transparent).
+func (c *Controller) rewriteHotPage(now uint64, page uint64, p *dmcPage) {
+	var moves uint64
+	oldBytes := c.hotPageBytes(p)
+	for off := 0; off < oldBytes; off += memctl.LineBytes {
+		c.mem.Access(now, c.dataMachineLine(p, off), false)
+		moves++
+	}
+	c.priceHot(page, p)
+	newChunks := sizeChunks(c.hotPageBytes(p))
+	if newChunks != p.chunks {
+		oldBase := p.base
+		p.base = c.allocBlock(newChunks)
+		c.buddy.Free(oldBase)
+		p.chunks = newChunks
+	}
+	newBytes := c.hotPageBytes(p)
+	for off := 0; off < newBytes; off += memctl.LineBytes {
+		c.mem.Access(now, c.dataMachineLine(p, off), true)
+		moves++
+	}
+	c.stats.OverflowAccesses += moves
+}
+
+// InstallPage implements memctl.Controller (pages start hot).
+func (c *Controller) InstallPage(page uint64, lines [][]byte) {
+	c.checkPage(page)
+	if len(lines) != metadata.LinesPerPage {
+		panic(fmt.Sprintf("dmc: InstallPage with %d lines", len(lines)))
+	}
+	p := &c.pages[page]
+	if p.valid {
+		panic(fmt.Sprintf("dmc: InstallPage of already-valid page %d", page))
+	}
+	c.pinned, c.hasPinned = page, true
+	defer func() { c.hasPinned = false }()
+	allZero := true
+	for i, ln := range lines {
+		code := c.compressCode(ln)
+		p.actual[i] = code
+		if code != 0 {
+			allZero = false
+		}
+	}
+	p.valid = true
+	c.validPages++
+	if allZero {
+		p.zero = true
+		return
+	}
+	if c.cfg.StartCold {
+		c.priceCold(page, p)
+		p.cold = true
+		p.chunks = sizeChunks(c.coldPageBytes(p))
+		p.base = c.allocBlock(p.chunks)
+		return
+	}
+	c.priceHot(page, p)
+	p.chunks = sizeChunks(c.hotPageBytes(p))
+	p.base = c.allocBlock(p.chunks)
+}
+
+// Discard drops a page (ballooning).
+func (c *Controller) Discard(page uint64) {
+	c.checkPage(page)
+	if c.hasPinned && page == c.pinned {
+		return
+	}
+	p := &c.pages[page]
+	if !p.valid {
+		return
+	}
+	if !p.zero {
+		c.buddy.Free(p.base)
+	}
+	*p = dmcPage{}
+	c.mdc.Drop(page)
+	c.validPages--
+}
+
+// FreeMachineChunks reports free allocator capacity.
+func (c *Controller) FreeMachineChunks() int {
+	return int(c.buddy.FreeBytes() / metadata.ChunkSize)
+}

@@ -1,0 +1,229 @@
+package dmc
+
+import (
+	"testing"
+
+	"compresso/internal/datagen"
+	"compresso/internal/dram"
+	"compresso/internal/memctl"
+	"compresso/internal/metadata"
+	"compresso/internal/rng"
+)
+
+type image struct{ lines map[uint64][]byte }
+
+func newImage() *image { return &image{lines: make(map[uint64][]byte)} }
+
+func (im *image) ReadLine(addr uint64, buf []byte) {
+	if l, ok := im.lines[addr]; ok {
+		copy(buf, l)
+		return
+	}
+	for i := range buf {
+		buf[i] = 0
+	}
+}
+
+func (im *image) set(addr uint64, data []byte) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	im.lines[addr] = cp
+}
+
+func write(c *Controller, im *image, now, addr uint64, data []byte) {
+	im.set(addr, data)
+	c.WriteLine(now, addr, data)
+}
+
+func testController(mod func(*Config)) (*Controller, *image) {
+	im := newImage()
+	cfg := DefaultConfig(256, 1<<20)
+	if mod != nil {
+		mod(&cfg)
+	}
+	return New(cfg, dram.New(dram.DDR4_2666()), im), im
+}
+
+func pageOf(r *rng.Rand, k datagen.Kind) [][]byte {
+	lines := make([][]byte, metadata.LinesPerPage)
+	for i := range lines {
+		lines[i] = datagen.Line(r, k)
+	}
+	return lines
+}
+
+func install(c *Controller, im *image, page uint64, lines [][]byte) {
+	for i, l := range lines {
+		im.set(page*metadata.LinesPerPage+uint64(i), l)
+	}
+	c.InstallPage(page, lines)
+}
+
+func TestInstallAndReadHot(t *testing.T) {
+	c, im := testController(nil)
+	r := rng.New(1)
+	install(c, im, 0, pageOf(r, datagen.SmallInt))
+	if c.CompressedBytes() == 0 || c.CompressedBytes() > 4096 {
+		t.Fatalf("install bytes %d", c.CompressedBytes())
+	}
+	res := c.ReadLine(0, 3)
+	if res.Done == 0 || c.Stats().DataReads != 1 {
+		t.Fatalf("hot read: %+v", c.Stats())
+	}
+}
+
+func TestZeroPageFlow(t *testing.T) {
+	c, im := testController(nil)
+	c.ReadLine(0, 0)
+	if c.Stats().ZeroLineOps != 1 {
+		t.Fatal("first touch not metadata-only")
+	}
+	r := rng.New(2)
+	write(c, im, 100, 5, datagen.Line(r, datagen.SmallInt))
+	if c.CompressedBytes() == 0 {
+		t.Fatal("zero page did not materialize")
+	}
+}
+
+func TestColdConversionOnIdleRegions(t *testing.T) {
+	c, im := testController(func(cfg *Config) {
+		cfg.ReclassifyEvery = 512
+		cfg.HotThreshold = 8
+	})
+	r := rng.New(3)
+	// Region 0 (pages 0..7): idle after install. Region 2 (16..23): hot.
+	for p := uint64(0); p < 8; p++ {
+		install(c, im, p, pageOf(r, datagen.Text))
+	}
+	for p := uint64(16); p < 24; p++ {
+		install(c, im, p, pageOf(r, datagen.Text))
+	}
+	now := uint64(0)
+	for i := 0; i < 4000; i++ {
+		c.ReadLine(now, 16*64+uint64(i%512))
+		now += 100
+	}
+	if c.MechanismSwitches == 0 {
+		t.Fatal("idle region never converted to cold")
+	}
+	if !c.pages[0].cold {
+		t.Fatal("idle page not cold")
+	}
+	if c.pages[16].cold {
+		t.Fatal("hot page went cold")
+	}
+	// Cold reads fetch whole blocks: more accesses per read.
+	before := c.Stats()
+	c.ReadLine(now, 0)
+	after := c.Stats()
+	coldAccesses := (after.DataReads - before.DataReads) + (after.SplitAccesses - before.SplitAccesses)
+	if coldAccesses < 1 {
+		t.Fatalf("cold read accesses %d", coldAccesses)
+	}
+	t.Logf("cold read cost %d accesses; %d mechanism switches", coldAccesses, c.MechanismSwitches)
+}
+
+func TestColdPagesCompressBetter(t *testing.T) {
+	// LZ at 1 KB finds the cross-line redundancy of repeated-pattern
+	// data that per-line BDI-LCP cannot: after cooling, the footprint
+	// shrinks.
+	c, im := testController(func(cfg *Config) {
+		cfg.ReclassifyEvery = 256
+		cfg.HotThreshold = 1000 // everything cools
+	})
+	r := rng.New(4)
+	for p := uint64(0); p < 8; p++ {
+		install(c, im, p, pageOf(r, datagen.Repeated))
+	}
+	hotBytes := c.CompressedBytes()
+	now := uint64(0)
+	for i := 0; i < 600; i++ { // trigger rescans
+		c.ReadLine(now, uint64(i%(8*64)))
+		now += 50
+	}
+	if c.CompressedBytes() >= hotBytes {
+		t.Fatalf("cold conversion did not shrink: %d -> %d", hotBytes, c.CompressedBytes())
+	}
+}
+
+func TestColdWriteGrowthRewrites(t *testing.T) {
+	c, im := testController(func(cfg *Config) {
+		cfg.ReclassifyEvery = 128
+		cfg.HotThreshold = 1 << 60 // force everything cold
+	})
+	r := rng.New(5)
+	install(c, im, 0, pageOf(r, datagen.Text))
+	now := uint64(0)
+	for i := 0; i < 200; i++ {
+		c.ReadLine(now, uint64(i%64))
+		now += 50
+	}
+	if !c.pages[0].cold {
+		t.Skip("page did not cool; threshold assumption broken")
+	}
+	ovBefore := c.Stats().OverflowAccesses
+	write(c, im, now, 3, datagen.Line(r, datagen.Random))
+	if c.Stats().OverflowAccesses == ovBefore {
+		t.Fatal("cold write recorded no read-modify-write traffic")
+	}
+}
+
+func TestRandomizedConsistency(t *testing.T) {
+	c, im := testController(func(cfg *Config) { cfg.ReclassifyEvery = 1024 })
+	r := rng.New(6)
+	kinds := []datagen.Kind{datagen.Zero, datagen.Seq, datagen.SmallInt, datagen.Random, datagen.Text}
+	for p := uint64(0); p < 24; p++ {
+		install(c, im, p, pageOf(r, kinds[int(p)%len(kinds)]))
+	}
+	now := uint64(0)
+	for i := 0; i < 15000; i++ {
+		p := uint64(r.Intn(32))
+		l := uint64(r.Intn(64))
+		if r.Bool(0.3) {
+			write(c, im, now, p*64+l, datagen.Line(r, kinds[r.Intn(len(kinds))]))
+		} else {
+			c.ReadLine(now, p*64+l)
+		}
+		now += 50
+	}
+	st := c.Stats()
+	if st.DemandAccesses() != 15000 {
+		t.Fatalf("demand %d", st.DemandAccesses())
+	}
+	if c.CompressedBytes() > c.InstalledBytes() {
+		t.Fatalf("compressed %d > installed %d", c.CompressedBytes(), c.InstalledBytes())
+	}
+	for p := uint64(0); p < 32; p++ {
+		for l := uint64(0); l < 64; l++ {
+			c.ReadLine(now, p*64+l)
+			now += 10
+		}
+	}
+}
+
+func TestDiscard(t *testing.T) {
+	c, im := testController(nil)
+	r := rng.New(7)
+	install(c, im, 0, pageOf(r, datagen.SmallInt))
+	c.Discard(0)
+	if c.CompressedBytes() != 0 || c.InstalledBytes() != 0 {
+		t.Fatal("discard left state")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	c, _ := testController(nil)
+	c.ReadLine(0, 0)
+	c.ResetStats()
+	if c.Stats().DemandAccesses() != 0 {
+		t.Fatal("stats survived reset")
+	}
+}
+
+func TestInterfaceCompliance(t *testing.T) {
+	var _ memctl.Controller = (*Controller)(nil)
+	c, _ := testController(nil)
+	if c.Name() != "dmc" {
+		t.Fatalf("name %q", c.Name())
+	}
+}

@@ -1,0 +1,178 @@
+// Package dram models a DDR4 main memory channel at the granularity
+// the Compresso evaluation needs: per-bank row-buffer state, bank and
+// data-bus occupancy, and the tCL/tRCD/tRP command timings of the
+// paper's DDR4-2666 configuration (Tab. III).
+//
+// The model is transaction-level rather than command-cycle-accurate:
+// each 64-byte access is charged its row-hit/miss/conflict latency and
+// serialized against the bank and bus it uses. That is enough to
+// reproduce the two phenomena the paper leans on — extra compression
+// accesses consuming real bandwidth, and row-locality benefits of
+// compressed (denser) data — without a full command scheduler.
+package dram
+
+// Config describes one memory subsystem. Timings are in memory-bus
+// clock cycles (1333 MHz for DDR4-2666); the simulator converts to core
+// cycles with CoreClocksPerMemClock.
+type Config struct {
+	Channels int // independent channels with separate buses
+	Banks    int // banks per channel (bank groups flattened)
+
+	CL  int // CAS latency
+	RCD int // RAS-to-CAS delay
+	RP  int // row precharge
+	BL  int // burst length (transfers); BL=8 occupies BL/2 bus cycles
+
+	RowBytes int // row-buffer (page) size per bank
+
+	// CoreClocksPerMemClock converts memory cycles to core cycles
+	// (3 GHz core / 1.333 GHz bus = 2.25 in the paper's setup).
+	CoreClocksPerMemClock float64
+}
+
+// DDR4_2666 returns the paper's Tab. III memory configuration.
+func DDR4_2666() Config {
+	return Config{
+		Channels:              1,
+		Banks:                 16,
+		CL:                    18,
+		RCD:                   18,
+		RP:                    18,
+		BL:                    8,
+		RowBytes:              8192,
+		CoreClocksPerMemClock: 2.25,
+	}
+}
+
+// Stats counts memory events. All counters are cumulative.
+type Stats struct {
+	Reads        uint64
+	Writes       uint64
+	RowHits      uint64
+	RowMisses    uint64 // closed row (first access after precharge)
+	RowConflicts uint64 // different row open
+	QueueCycles  uint64 // core cycles requests spent waiting for bank/bus
+	BusyCycles   uint64 // core cycles of data-bus occupancy
+}
+
+// Accesses returns the total number of accesses.
+func (s Stats) Accesses() uint64 { return s.Reads + s.Writes }
+
+type bank struct {
+	openRow int64 // -1 when precharged
+	readyAt uint64
+}
+
+// Memory is a DDR4 memory subsystem. Not safe for concurrent use; the
+// simulator is single-goroutine by design (deterministic).
+type Memory struct {
+	cfg      Config
+	banks    [][]bank // [channel][bank]
+	busFree  []uint64 // per channel, core cycle when data bus frees
+	stats    Stats
+	linesRow int // lines per row
+}
+
+// New constructs a memory subsystem from cfg.
+func New(cfg Config) *Memory {
+	if cfg.Channels <= 0 || cfg.Banks <= 0 || cfg.RowBytes < 64 {
+		panic("dram: invalid config")
+	}
+	m := &Memory{
+		cfg:      cfg,
+		banks:    make([][]bank, cfg.Channels),
+		busFree:  make([]uint64, cfg.Channels),
+		linesRow: cfg.RowBytes / 64,
+	}
+	for c := range m.banks {
+		m.banks[c] = make([]bank, cfg.Banks)
+		for b := range m.banks[c] {
+			m.banks[c][b].openRow = -1
+		}
+	}
+	return m
+}
+
+// Stats returns a copy of the accumulated counters.
+func (m *Memory) Stats() Stats { return m.stats }
+
+// ResetStats zeroes the counters without touching bank state.
+func (m *Memory) ResetStats() { m.stats = Stats{} }
+
+func (m *Memory) coreCycles(memCycles int) uint64 {
+	return uint64(float64(memCycles)*m.cfg.CoreClocksPerMemClock + 0.5)
+}
+
+// mapAddr converts a line address (64 B units) to channel, bank and
+// row. Consecutive lines stay in one row so that streaming accesses
+// enjoy row-buffer locality; rows are interleaved across channels and
+// banks.
+func (m *Memory) mapAddr(lineAddr uint64) (ch, bk int, row int64) {
+	rowIdx := lineAddr / uint64(m.linesRow)
+	ch = int(rowIdx % uint64(m.cfg.Channels))
+	bk = int(rowIdx / uint64(m.cfg.Channels) % uint64(m.cfg.Banks))
+	row = int64(rowIdx / uint64(m.cfg.Channels) / uint64(m.cfg.Banks))
+	return ch, bk, row
+}
+
+// Access performs one 64-byte access to lineAddr (a line-granularity
+// address) issued at core cycle now, and returns the core cycle at
+// which the data transfer completes. Writes occupy the same resources;
+// the caller decides whether to wait on the returned time (reads on the
+// critical path do, posted writebacks do not).
+func (m *Memory) Access(now uint64, lineAddr uint64, write bool) uint64 {
+	ch, bk, row := m.mapAddr(lineAddr)
+	b := &m.banks[ch][bk]
+
+	// Wait for the bank to accept the command.
+	start := now
+	if b.readyAt > start {
+		start = b.readyAt
+	}
+
+	var cmdLat, bankHold int
+	switch {
+	case b.openRow == row:
+		m.stats.RowHits++
+		cmdLat = m.cfg.CL
+		bankHold = m.cfg.BL / 2 // tCCD: column commands pipeline
+	case b.openRow == -1:
+		m.stats.RowMisses++
+		cmdLat = m.cfg.RCD + m.cfg.CL
+		bankHold = m.cfg.RCD
+	default:
+		m.stats.RowConflicts++
+		cmdLat = m.cfg.RP + m.cfg.RCD + m.cfg.CL
+		bankHold = m.cfg.RP + m.cfg.RCD
+	}
+	b.openRow = row
+
+	// Column commands pipeline: the data burst is the serializing
+	// resource, so a stream of row hits achieves one burst per BL/2
+	// memory cycles while each individual access still sees its full
+	// command latency.
+	burst := m.coreCycles(m.cfg.BL / 2)
+	dataAt := start + m.coreCycles(cmdLat)
+	if m.busFree[ch] > dataAt {
+		dataAt = m.busFree[ch]
+	}
+	done := dataAt + burst
+
+	b.readyAt = start + m.coreCycles(bankHold)
+	m.busFree[ch] = done
+	m.stats.BusyCycles += burst
+	m.stats.QueueCycles += (dataAt - m.coreCycles(cmdLat)) - now
+
+	if write {
+		m.stats.Writes++
+	} else {
+		m.stats.Reads++
+	}
+	return done
+}
+
+// ReadLatency returns the unloaded row-hit read latency in core cycles,
+// useful for analytic comparisons and tests.
+func (m *Memory) ReadLatency() uint64 {
+	return m.coreCycles(m.cfg.CL) + m.coreCycles(m.cfg.BL/2)
+}

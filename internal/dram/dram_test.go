@@ -1,0 +1,160 @@
+package dram
+
+import "testing"
+
+func TestRowHitVsMissLatency(t *testing.T) {
+	m := New(DDR4_2666())
+	// First access to a row: row miss (RCD+CL).
+	done1 := m.Access(0, 0, false)
+	missLat := done1 - 0
+	// Second access to the same row, issued after the first completes:
+	// row hit (CL only).
+	done2 := m.Access(done1, 1, false)
+	hitLat := done2 - done1
+	if hitLat >= missLat {
+		t.Errorf("row hit latency %d >= miss latency %d", hitLat, missLat)
+	}
+	st := m.Stats()
+	if st.RowMisses != 1 || st.RowHits != 1 {
+		t.Errorf("stats = %+v, want 1 miss 1 hit", st)
+	}
+}
+
+func TestRowConflict(t *testing.T) {
+	cfg := DDR4_2666()
+	m := New(cfg)
+	linesPerRow := cfg.RowBytes / 64
+	rowsPerCycle := cfg.Channels * cfg.Banks // rows mapping back to bank 0
+	a := uint64(0)
+	b := uint64(linesPerRow * rowsPerCycle) // same channel+bank, next row
+	done1 := m.Access(0, a, false)
+	done2 := m.Access(done1, b, false)
+	if m.Stats().RowConflicts != 1 {
+		t.Fatalf("stats = %+v, want 1 conflict", m.Stats())
+	}
+	conflictLat := done2 - done1
+	missLat := done1
+	if conflictLat <= missLat {
+		t.Errorf("conflict latency %d <= miss latency %d", conflictLat, missLat)
+	}
+}
+
+func TestBankSerialization(t *testing.T) {
+	m := New(DDR4_2666())
+	// Two back-to-back requests to the same bank issued at cycle 0: the
+	// second must queue behind the first.
+	d1 := m.Access(0, 0, false)
+	d2 := m.Access(0, 1, false)
+	if d2 <= d1 {
+		t.Errorf("second access done at %d, first at %d; want serialization", d2, d1)
+	}
+	if m.Stats().QueueCycles == 0 {
+		t.Error("no queueing recorded for contended bank")
+	}
+}
+
+func TestChannelParallelism(t *testing.T) {
+	cfg := DDR4_2666()
+	cfg.Channels = 2
+	m := New(cfg)
+	linesPerRow := uint64(cfg.RowBytes / 64)
+	// Rows 0 and 1 map to different channels.
+	d1 := m.Access(0, 0, false)
+	d2 := m.Access(0, linesPerRow, false)
+	if d2 != d1 {
+		t.Errorf("accesses to different channels serialized: %d vs %d", d1, d2)
+	}
+}
+
+func TestBankParallelismWithinChannel(t *testing.T) {
+	cfg := DDR4_2666()
+	m := New(cfg)
+	linesPerRow := uint64(cfg.RowBytes / 64)
+	// Rows 0 and 1 in one channel map to different banks: command
+	// latency overlaps, only the shared data bus serializes the bursts.
+	d1 := m.Access(0, 0, false)
+	d2 := m.Access(0, linesPerRow, false)
+	serial := m.coreCycles(cfg.RCD+cfg.CL) * 2
+	if d2-0 >= serial+d1 {
+		t.Errorf("bank-parallel accesses fully serialized: d1=%d d2=%d", d1, d2)
+	}
+	if d2 <= d1 {
+		t.Errorf("bus not serialized: d1=%d d2=%d", d1, d2)
+	}
+}
+
+func TestWriteCounting(t *testing.T) {
+	m := New(DDR4_2666())
+	m.Access(0, 0, true)
+	m.Access(100, 1, false)
+	st := m.Stats()
+	if st.Writes != 1 || st.Reads != 1 || st.Accesses() != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	m := New(DDR4_2666())
+	m.Access(0, 0, false)
+	m.ResetStats()
+	if m.Stats().Accesses() != 0 {
+		t.Error("ResetStats did not clear counters")
+	}
+	// Bank state survives: the same row is now a hit.
+	m.Access(1000, 0, false)
+	if m.Stats().RowHits != 1 {
+		t.Errorf("row state lost on ResetStats: %+v", m.Stats())
+	}
+}
+
+func TestReadLatencyMatchesConfig(t *testing.T) {
+	m := New(DDR4_2666())
+	// CL=18, BL/2=4 memory cycles at 2.25 core clocks each.
+	cl, burst := 18.0, 4.0
+	want := uint64(cl*2.25+0.5) + uint64(burst*2.25+0.5)
+	if got := m.ReadLatency(); got != want {
+		t.Errorf("ReadLatency = %d, want %d", got, want)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on zero channels")
+		}
+	}()
+	New(Config{Channels: 0, Banks: 1, RowBytes: 8192})
+}
+
+func TestAddressMappingCoversBanks(t *testing.T) {
+	cfg := DDR4_2666()
+	m := New(cfg)
+	seen := map[[2]int]bool{}
+	linesPerRow := uint64(cfg.RowBytes / 64)
+	for i := uint64(0); i < uint64(cfg.Banks*cfg.Channels); i++ {
+		ch, bk, _ := m.mapAddr(i * linesPerRow)
+		seen[[2]int{ch, bk}] = true
+	}
+	if len(seen) != cfg.Banks*cfg.Channels {
+		t.Errorf("consecutive rows map to %d distinct banks, want %d", len(seen), cfg.Banks*cfg.Channels)
+	}
+}
+
+func TestStreamingThroughputBounded(t *testing.T) {
+	// A long streaming read sequence is bus-bound: total time is close
+	// to nAccesses * burst time.
+	m := New(DDR4_2666())
+	var done uint64
+	const n = 1000
+	for i := uint64(0); i < n; i++ {
+		done = m.Access(0, i, false)
+	}
+	burst := m.coreCycles(DDR4_2666().BL / 2)
+	minTime := burst * n
+	if done < minTime {
+		t.Errorf("streaming %d accesses finished at %d, below bus bound %d", n, done, minTime)
+	}
+	if done > minTime*3 {
+		t.Errorf("streaming throughput too low: %d vs bound %d", done, minTime)
+	}
+}

@@ -1,0 +1,80 @@
+package energy
+
+import (
+	"testing"
+
+	"compresso/internal/dram"
+	"compresso/internal/memctl"
+)
+
+func TestBreakdownArithmetic(t *testing.T) {
+	b := Breakdown{DRAMDynamic: 1, DRAMStatic: 2, MDCache: 3, Compressor: 4, Core: 5}
+	if b.DRAM() != 3 {
+		t.Fatalf("DRAM %v", b.DRAM())
+	}
+	if b.Total() != 15 {
+		t.Fatalf("Total %v", b.Total())
+	}
+}
+
+func TestEvaluateScalesWithAccesses(t *testing.T) {
+	m := Default()
+	small := m.Evaluate(Inputs{Dram: dram.Stats{Reads: 100, RowHits: 100}, Cycles: 1000, Cores: 1})
+	big := m.Evaluate(Inputs{Dram: dram.Stats{Reads: 10000, RowHits: 10000}, Cycles: 1000, Cores: 1})
+	if big.DRAMDynamic <= small.DRAMDynamic {
+		t.Fatal("dynamic energy did not scale with accesses")
+	}
+	if big.DRAMStatic != small.DRAMStatic {
+		t.Fatal("static energy changed with accesses at fixed runtime")
+	}
+}
+
+func TestActivatesCostExtra(t *testing.T) {
+	m := Default()
+	hits := m.Evaluate(Inputs{Dram: dram.Stats{Reads: 1000, RowHits: 1000}, Cycles: 1, Cores: 1})
+	misses := m.Evaluate(Inputs{Dram: dram.Stats{Reads: 1000, RowMisses: 1000}, Cycles: 1, Cores: 1})
+	if misses.DRAMDynamic <= hits.DRAMDynamic {
+		t.Fatal("row misses not charged activates")
+	}
+}
+
+func TestCoreEnergyScalesWithRuntimeAndCores(t *testing.T) {
+	m := Default()
+	one := m.Evaluate(Inputs{Cycles: 3_000_000, Cores: 1})
+	four := m.Evaluate(Inputs{Cycles: 3_000_000, Cores: 4})
+	if four.Core != 4*one.Core {
+		t.Fatalf("core energy %v vs %v", four.Core, one.Core)
+	}
+	long := m.Evaluate(Inputs{Cycles: 6_000_000, Cores: 1})
+	if long.Core != 2*one.Core {
+		t.Fatal("core energy not linear in cycles")
+	}
+}
+
+func TestPaperProportions(t *testing.T) {
+	// §VII-C: metadata-cache access (0.08 nJ) is <0.8% of a DRAM read;
+	// a compression (≈0.1 nJ) is small change next to a DRAM access.
+	m := Default()
+	if m.MDCacheAccessNJ/m.DRAMAccessNJ >= 0.008+1e-9 {
+		t.Fatalf("md access %.3f nJ not <0.8%% of DRAM read %.1f nJ",
+			m.MDCacheAccessNJ, m.DRAMAccessNJ)
+	}
+	if m.CompressNJ >= m.DRAMAccessNJ*0.05 {
+		t.Fatalf("compressor energy %.3f nJ implausibly high", m.CompressNJ)
+	}
+}
+
+func TestCompressionsEstimate(t *testing.T) {
+	s := memctl.Stats{DataReads: 10, DemandWrites: 5, OverflowAccesses: 3, RepackAccesses: 2}
+	if CompressionsEstimate(s) != 20 {
+		t.Fatalf("estimate %d", CompressionsEstimate(s))
+	}
+}
+
+func TestZeroCoresDefaultsToOne(t *testing.T) {
+	m := Default()
+	b := m.Evaluate(Inputs{Cycles: 1000})
+	if b.Core == 0 {
+		t.Fatal("zero-core input produced no core energy")
+	}
+}

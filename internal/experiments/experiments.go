@@ -1,0 +1,87 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation (see DESIGN.md §4 for the full index). Each
+// experiment has a data function (returning structured results, used
+// by tests and benchmarks) and a Run wrapper that renders the paper's
+// rows/series as text.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Options control an experiment run.
+type Options struct {
+	// Out receives the rendered tables.
+	Out io.Writer
+	// Quick shrinks footprints and trace lengths for smoke tests; the
+	// full configuration reproduces the paper-scale runs.
+	Quick bool
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// ops and scale return the trace length and footprint divisor for the
+// fidelity level.
+func (o Options) ops() uint64 {
+	if o.Quick {
+		return 20_000
+	}
+	return 200_000
+}
+
+func (o Options) scale() int {
+	if o.Quick {
+		return 16
+	}
+	return 4
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 42
+	}
+	return o.Seed
+}
+
+// Experiment is a registered paper artifact.
+type Experiment struct {
+	Name string
+	Desc string
+	Run  func(Options) error
+}
+
+var registry = map[string]Experiment{}
+
+func register(name, desc string, run func(Options) error) {
+	registry[name] = Experiment{Name: name, Desc: desc, Run: run}
+}
+
+// List returns all experiments sorted by name.
+func List() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Run executes the named experiment.
+func Run(name string, opt Options) error {
+	e, ok := registry[name]
+	if !ok {
+		var names []string
+		for n := range registry {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, names)
+	}
+	return e.Run(opt)
+}
+
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n=== %s ===\n", title)
+}

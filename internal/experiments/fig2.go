@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+
+	"compresso/internal/capacity"
+	"compresso/internal/compress"
+	"compresso/internal/memctl"
+	"compresso/internal/stats"
+	"compresso/internal/workload"
+)
+
+// Fig2Row is one benchmark's compression ratios under the four
+// algorithm × packing combinations of Fig. 2.
+type Fig2Row struct {
+	Bench       string
+	BPCLinePack float64
+	BPCLCP      float64
+	BDILinePack float64
+	BDILCP      float64
+}
+
+// Fig2Data measures page-packing compression ratios over each
+// benchmark's memory image: {BPC, BDI} × {LinePack, LCP-packing}, all
+// with the legacy 0/22/44/64 line bins (the packing comparison of
+// §II-C predates the alignment optimization).
+func Fig2Data(opt Options) []Fig2Row {
+	var rows []Fig2Row
+	for _, prof := range workload.All() {
+		prof.FootprintPages /= opt.scale()
+		if prof.FootprintPages < 16 {
+			prof.FootprintPages = 16
+		}
+		img := workload.NewImage(prof, opt.seed())
+		row := Fig2Row{Bench: prof.Name}
+		var buf [memctl.LineBytes]byte
+		bpc, bdi := compress.BPC{}, compress.BDI{}
+
+		var footprint, lpBPC, lcpBPC, lpBDI, lcpBDI int64
+		var rawsBPC, rawsBDI [memctl.LinesPerPage]uint8
+		for p := uint64(0); p < uint64(prof.FootprintPages); p++ {
+			page := img.Page(p)
+			for i, line := range page {
+				copy(buf[:], line)
+				rawsBPC[i] = uint8(bpc.Compress(buf[:], line))
+				rawsBDI[i] = uint8(bdi.Compress(buf[:], line))
+			}
+			footprint += memctl.PageSize
+			lpBPC += int64(capacity.LinePackPageBytes(rawsBPC[:], compress.LegacyBins))
+			lcpBPC += int64(capacity.LCPPageBytes(rawsBPC[:], compress.LegacyBins))
+			lpBDI += int64(capacity.LinePackPageBytes(rawsBDI[:], compress.LegacyBins))
+			lcpBDI += int64(capacity.LCPPageBytes(rawsBDI[:], compress.LegacyBins))
+		}
+		row.BPCLinePack = ratio(footprint, lpBPC)
+		row.BPCLCP = ratio(footprint, lcpBPC)
+		row.BDILinePack = ratio(footprint, lpBDI)
+		row.BDILCP = ratio(footprint, lcpBDI)
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func ratio(fp, store int64) float64 {
+	if store <= 0 {
+		return float64(fp)
+	}
+	return float64(fp) / float64(store)
+}
+
+func runFig2(opt Options) error {
+	rows := Fig2Data(opt)
+	header(opt.Out, "Fig. 2: Compression ratio, {BPC,BDI} x {LinePack,LCP-packing}")
+	tbl := stats.NewTable("bench", "bpc+linepack", "bpc+lcp", "bdi+linepack", "bdi+lcp")
+	var a, b, c, d []float64
+	for _, r := range rows {
+		tbl.AddRow(r.Bench, r.BPCLinePack, r.BPCLCP, r.BDILinePack, r.BDILCP)
+		a = append(a, r.BPCLinePack)
+		b = append(b, r.BPCLCP)
+		c = append(c, r.BDILinePack)
+		d = append(d, r.BDILCP)
+	}
+	tbl.AddRow("Average", stats.Mean(a), stats.Mean(b), stats.Mean(c), stats.Mean(d))
+	tbl.Render(opt.Out)
+	fmt.Fprintf(opt.Out,
+		"\nLCP-packing loss vs LinePack: BPC %.1f%% (paper: 13%%), BDI %.1f%% (paper: 2.3%%)\n",
+		100*(1-stats.Mean(b)/stats.Mean(a)), 100*(1-stats.Mean(d)/stats.Mean(c)))
+	return nil
+}
+
+func init() {
+	register("fig2", "compression ratio: {BPC,BDI} x {LinePack,LCP-packing} per benchmark", runFig2)
+}

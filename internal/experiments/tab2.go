@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+
+	"compresso/internal/capacity"
+	"compresso/internal/sim"
+	"compresso/internal/stats"
+	"compresso/internal/workload"
+)
+
+// Tab2Cell is one (memory fraction, core count) cell of Tab. II.
+type Tab2Cell struct {
+	Frac          float64
+	Cores         int
+	LCP           float64
+	Compresso     float64
+	Unconstrained float64
+}
+
+// Tab2Data sweeps the constrained-memory fractions of Tab. II for 1-
+// and 4-core systems (capacity methodology; all numbers relative to
+// the constrained uncompressed baseline).
+func Tab2Data(opt Options) []Tab2Cell {
+	fracs := []float64{0.8, 0.7, 0.6}
+	var cells []Tab2Cell
+
+	for _, frac := range fracs {
+		// Single core: average over the performance set.
+		var lcp, comp, unc []float64
+		for _, prof := range workload.PerformanceSet() {
+			cfg := capacity.DefaultConfig(frac)
+			cfg.Ops = opt.ops() * 2
+			cfg.FootprintScale = opt.scale()
+			cfg.Seed = opt.seed()
+			out := capacity.Evaluate(prof, cfg)
+			lcp = append(lcp, out.RelPerf[capacity.LCP])
+			comp = append(comp, out.RelPerf[capacity.Compresso])
+			unc = append(unc, out.Unconstrained)
+		}
+		cells = append(cells, Tab2Cell{
+			Frac: frac, Cores: 1,
+			LCP:           stats.Mean(lcp),
+			Compresso:     stats.Mean(comp),
+			Unconstrained: stats.Mean(unc),
+		})
+
+		// Four cores: average over the mixes.
+		lcp, comp, unc = nil, nil, nil
+		for _, mix := range sim.Mixes() {
+			profs, err := mix.Profiles()
+			if err != nil {
+				panic(err)
+			}
+			cfg := capacity.DefaultConfig(frac)
+			cfg.Ops = opt.ops()
+			cfg.FootprintScale = opt.scale()
+			cfg.Seed = opt.seed()
+			out := capacity.EvaluateMix(mix.Name, profs, cfg)
+			lcp = append(lcp, out.RelPerf[capacity.LCP])
+			comp = append(comp, out.RelPerf[capacity.Compresso])
+			unc = append(unc, out.Unconstrained)
+		}
+		cells = append(cells, Tab2Cell{
+			Frac: frac, Cores: 4,
+			LCP:           stats.Mean(lcp),
+			Compresso:     stats.Mean(comp),
+			Unconstrained: stats.Mean(unc),
+		})
+	}
+	return cells
+}
+
+func runTab2(opt Options) error {
+	cells := Tab2Data(opt)
+	header(opt.Out, "Tab. II: speedup vs constrained-memory baseline at 80/70/60% of footprint")
+	tbl := stats.NewTable("memory", "cores", "lcp", "compresso", "unconstrained")
+	for _, c := range cells {
+		tbl.AddRow(fmt.Sprintf("%.0f%%", c.Frac*100), c.Cores, c.LCP, c.Compresso, c.Unconstrained)
+	}
+	tbl.Render(opt.Out)
+	fmt.Fprintf(opt.Out, "\npaper @70%%: 1-core LCP 1.11 / Compresso 1.29 / unconstrained 1.39; 4-core 1.97 / 2.33 / 2.51\n")
+	return nil
+}
+
+func init() {
+	register("tab2", "Tab. II capacity-speedup sweep (80/70/60% memory, 1 and 4 cores)", runTab2)
+}

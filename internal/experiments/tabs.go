@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+
+	"compresso/internal/stats"
+)
+
+// Tab. I and Tab. V are the paper's qualitative comparison tables;
+// they are encoded here as structured data (used by the runners and
+// asserted by tests) so the repository carries the paper's complete
+// set of tables.
+
+// Tab1Row is one challenge row of Tab. I (OS-aware vs OS-transparent
+// compression).
+type Tab1Row struct {
+	Challenge   string
+	OSAware     bool
+	Transparent bool
+}
+
+// Tab1 returns Tab. I: which challenges each approach must solve.
+func Tab1() []Tab1Row {
+	return []Tab1Row{
+		{"Translation from OSPA to MPA", true, true},
+		{"Data movement due to size change", true, true},
+		{"Metadata access overheads", true, true},
+		{"No knowledge of free pages in OSPA", false, true},
+		{"Overcommitment of memory by the OS", false, true},
+	}
+}
+
+// Tab5Row is one system row of Tab. V (related-work summary).
+type Tab5Row struct {
+	System        string
+	OSTransparent string // "yes", "no", "partially"
+	HWChanges     string
+	Granularity   string
+	LinePacking   string
+	DataMovement  string // data-movement optimizations
+}
+
+// Tab5 returns Tab. V: the related-work comparison matrix.
+func Tab5() []Tab5Row {
+	return []Tab5Row{
+		{"IBM-MXT", "partially", "LLC, MC", "1KB", "n/a", "n/a"},
+		{"RMC", "no", "BST, MC", "64B", "LinePack", "light"},
+		{"LCP", "no", "TLBs, MC", "64B", "LCP", "no"},
+		{"Buri", "partially", "MC", "64B", "LCP", "no"},
+		{"DMC", "partially", "MC", "64B or 1KB", "LCP or n/a", "no"},
+		{"Compresso", "yes", "MC", "64B", "LinePack", "yes"},
+	}
+}
+
+func runTab1(opt Options) error {
+	header(opt.Out, "Tab. I: OS-aware vs OS-transparent compression challenges")
+	tbl := stats.NewTable("challenge to deal with", "os-aware", "os-transparent")
+	yn := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "no"
+	}
+	for _, r := range Tab1() {
+		tbl.AddRow(r.Challenge, yn(r.OSAware), yn(r.Transparent))
+	}
+	tbl.Render(opt.Out)
+	fmt.Fprintln(opt.Out, "\nCompresso solves the last two rows without OS support: ballooning (§V-B)")
+	fmt.Fprintln(opt.Out, "for overcommitment, aggressive repacking (§IV-B4) instead of free-page zeroing.")
+	return nil
+}
+
+func runTab5(opt Options) error {
+	header(opt.Out, "Tab. V: related-work summary")
+	tbl := stats.NewTable("system", "os-transparent", "hw-changes", "granularity", "line-packing", "dm-opts")
+	for _, r := range Tab5() {
+		tbl.AddRow(r.System, r.OSTransparent, r.HWChanges, r.Granularity, r.LinePacking, r.DataMovement)
+	}
+	tbl.Render(opt.Out)
+	fmt.Fprintln(opt.Out, "\nquantified counterparts in this repo: LCP (-exp fig10a), DMC/MXT (-exp related-dmc)")
+	return nil
+}
+
+func init() {
+	register("tab1", "Tab. I: challenges of OS-aware vs OS-transparent compression", runTab1)
+	register("tab5", "Tab. V: related-work summary matrix", runTab5)
+}

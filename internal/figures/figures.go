@@ -1,0 +1,162 @@
+// Package figures renders the paper's figure data as Unicode bar
+// charts and sparklines in the terminal, so the experiment runners can
+// show the *shape* of each result next to the numeric tables.
+package figures
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Bar renders a horizontal bar chart: one labeled row per value, bars
+// scaled to width characters at the maximum value. A reference value
+// (e.g. "1.0 = baseline") can be marked with a '|' tick.
+type Bar struct {
+	// Width is the bar area width in characters (default 40).
+	Width int
+	// Reference draws a tick at this value when > 0.
+	Reference float64
+	// Format renders the numeric value (default "%.2f").
+	Format string
+}
+
+// Render writes the chart.
+func (b Bar) Render(w io.Writer, labels []string, values []float64) {
+	if len(labels) != len(values) {
+		panic(fmt.Sprintf("figures: %d labels for %d values", len(labels), len(values)))
+	}
+	if len(values) == 0 {
+		return
+	}
+	width := b.Width
+	if width <= 0 {
+		width = 40
+	}
+	format := b.Format
+	if format == "" {
+		format = "%.2f"
+	}
+	maxVal := b.Reference
+	for _, v := range values {
+		if v > maxVal {
+			maxVal = v
+		}
+	}
+	if maxVal <= 0 {
+		maxVal = 1
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	refCol := -1
+	if b.Reference > 0 {
+		refCol = int(b.Reference / maxVal * float64(width))
+		if refCol >= width {
+			refCol = width - 1
+		}
+	}
+	for i, v := range values {
+		if v < 0 {
+			v = 0
+		}
+		n := int(math.Round(v / maxVal * float64(width)))
+		if n > width {
+			n = width
+		}
+		row := []rune(strings.Repeat("█", n) + strings.Repeat(" ", width-n))
+		if refCol >= 0 && refCol < len(row) && row[refCol] != '█' {
+			row[refCol] = '|'
+		}
+		fmt.Fprintf(w, "%-*s %s "+format+"\n", labelW, labels[i], string(row), values[i])
+	}
+}
+
+// Spark returns a one-line sparkline of the series (8 levels).
+func Spark(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	var sb strings.Builder
+	for _, v := range values {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * 7.999)
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx > 7 {
+			idx = 7
+		}
+		sb.WriteRune(levels[idx])
+	}
+	return sb.String()
+}
+
+// Stacked renders a stacked horizontal bar per row: each row's
+// segments (e.g. Fig. 4's split/overflow/metadata categories) drawn
+// with distinct glyphs plus a legend.
+type Stacked struct {
+	Width  int
+	Glyphs []rune // one per segment class
+}
+
+// Render writes the stacked chart. segments[i] holds row i's parts.
+func (s Stacked) Render(w io.Writer, labels []string, segments [][]float64, segmentNames []string) {
+	if len(labels) != len(segments) {
+		panic(fmt.Sprintf("figures: %d labels for %d rows", len(labels), len(segments)))
+	}
+	width := s.Width
+	if width <= 0 {
+		width = 40
+	}
+	glyphs := s.Glyphs
+	if len(glyphs) == 0 {
+		glyphs = []rune{'█', '▒', '░', '▚', '▞'}
+	}
+	maxTotal := 0.0
+	for _, parts := range segments {
+		total := 0.0
+		for _, p := range parts {
+			total += p
+		}
+		maxTotal = math.Max(maxTotal, total)
+	}
+	if maxTotal <= 0 {
+		maxTotal = 1
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	for i, parts := range segments {
+		var sb strings.Builder
+		total := 0.0
+		for j, p := range parts {
+			n := int(math.Round(p / maxTotal * float64(width)))
+			sb.WriteString(strings.Repeat(string(glyphs[j%len(glyphs)]), n))
+			total += p
+		}
+		fmt.Fprintf(w, "%-*s %-*s %.3f\n", labelW, labels[i], width, sb.String(), total)
+	}
+	if len(segmentNames) > 0 {
+		fmt.Fprint(w, "legend:")
+		for j, name := range segmentNames {
+			fmt.Fprintf(w, " %c=%s", glyphs[j%len(glyphs)], name)
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,98 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarRender(t *testing.T) {
+	var sb strings.Builder
+	Bar{Width: 10}.Render(&sb, []string{"a", "bb"}, []float64{1, 2})
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("output:\n%s", out)
+	}
+	// Max value fills the width; half value fills half.
+	if strings.Count(lines[1], "█") != 10 {
+		t.Errorf("max bar not full: %q", lines[1])
+	}
+	if strings.Count(lines[0], "█") != 5 {
+		t.Errorf("half bar wrong: %q", lines[0])
+	}
+	// Labels are padded to equal width.
+	if !strings.HasPrefix(lines[0], "a  ") || !strings.HasPrefix(lines[1], "bb ") {
+		t.Errorf("labels misaligned:\n%s", out)
+	}
+}
+
+func TestBarReferenceTick(t *testing.T) {
+	var sb strings.Builder
+	Bar{Width: 10, Reference: 2}.Render(&sb, []string{"x"}, []float64{1})
+	if !strings.Contains(sb.String(), "|") {
+		t.Fatalf("no reference tick: %q", sb.String())
+	}
+}
+
+func TestBarEmptyAndNegative(t *testing.T) {
+	var sb strings.Builder
+	Bar{}.Render(&sb, nil, nil)
+	if sb.Len() != 0 {
+		t.Fatal("empty input produced output")
+	}
+	Bar{Width: 4}.Render(&sb, []string{"n"}, []float64{-3})
+	if strings.Contains(sb.String(), "█") {
+		t.Fatal("negative value drew a bar")
+	}
+}
+
+func TestBarMismatchedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched lengths")
+		}
+	}()
+	Bar{}.Render(&strings.Builder{}, []string{"a"}, []float64{1, 2})
+}
+
+func TestSpark(t *testing.T) {
+	s := Spark([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Fatalf("spark %q", s)
+	}
+	r := []rune(s)
+	if r[0] != '▁' || r[3] != '█' {
+		t.Fatalf("spark endpoints %q", s)
+	}
+	if Spark(nil) != "" {
+		t.Fatal("empty spark not empty")
+	}
+	flat := Spark([]float64{5, 5, 5})
+	if flat != "▁▁▁" {
+		t.Fatalf("flat spark %q", flat)
+	}
+}
+
+func TestStacked(t *testing.T) {
+	var sb strings.Builder
+	Stacked{Width: 20}.Render(&sb,
+		[]string{"fixed", "variable"},
+		[][]float64{{0.1, 0.2, 0.3}, {0.2, 0.2, 0.2}},
+		[]string{"split", "overflow", "metadata"})
+	out := sb.String()
+	if !strings.Contains(out, "legend:") || !strings.Contains(out, "split") {
+		t.Fatalf("output:\n%s", out)
+	}
+	if !strings.Contains(out, "0.600") {
+		t.Fatalf("totals missing:\n%s", out)
+	}
+}
+
+func TestStackedMismatchedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched rows")
+		}
+	}()
+	Stacked{}.Render(&strings.Builder{}, []string{"a"}, nil, nil)
+}

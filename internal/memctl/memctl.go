@@ -1,0 +1,190 @@
+// Package memctl defines the memory-controller abstraction shared by
+// the uncompressed baseline, the LCP baselines (internal/lcp) and
+// Compresso (internal/core), together with the extra-access accounting
+// that Figures 4 and 6 of the paper are denominated in.
+//
+// A controller sits below the last-level cache: it serves LLC fills
+// (ReadLine) and dirty writebacks (WriteLine) on the OSPA address
+// space, translating to machine physical addresses and issuing DRAM
+// accesses through internal/dram.
+package memctl
+
+import "compresso/internal/dram"
+
+// LineBytes is the demand access granularity.
+const LineBytes = 64
+
+// PageSize is the fixed OSPA page size.
+const PageSize = 4096
+
+// LinesPerPage is the number of lines per OSPA page.
+const LinesPerPage = PageSize / LineBytes
+
+// LineSource supplies the current value of any OSPA line. The
+// simulator's workload image implements it; controllers use it where
+// real hardware would use the data that arrives with a writeback or
+// already resides in memory (page moves, repacking).
+type LineSource interface {
+	// ReadLine copies the 64-byte value of the OSPA line into buf.
+	ReadLine(lineAddr uint64, buf []byte)
+}
+
+// Result reports the timing of one demand access.
+type Result struct {
+	// Done is the core cycle at which the critical path completes:
+	// data availability for reads, acceptance for (posted) writes.
+	Done uint64
+}
+
+// Stats is the access accounting every controller maintains. The
+// paper's central metric — "additional compression-related data
+// movement relative to an uncompressed system" (Figs. 4 and 6) — is
+// ExtraAccesses()/DemandAccesses().
+type Stats struct {
+	// Demand traffic as seen from the LLC.
+	DemandReads  uint64
+	DemandWrites uint64
+
+	// DRAM data accesses serving demand traffic directly (at most one
+	// per demand access; zero for zero-lines and prefetch hits).
+	DataReads  uint64
+	DataWrites uint64
+
+	// The three extra-access categories of Fig. 4.
+	SplitAccesses    uint64 // second access for boundary-straddling lines
+	OverflowAccesses uint64 // line/page overflow handling data movement
+	MetadataReads    uint64 // metadata-cache miss fills
+	MetadataWrites   uint64 // dirty metadata writebacks
+
+	// RepackAccesses is the movement spent by dynamic repacking
+	// (§IV-B4; the paper keeps it distinct at 1.8%).
+	RepackAccesses uint64
+
+	// Savings relative to an uncompressed system.
+	ZeroLineOps     uint64 // demand ops served from metadata alone
+	PrefetchHits    uint64 // reads served by a previous access's burst
+	SpeculationMiss uint64 // LCP-only: wasted speculative accesses
+
+	// Event counters.
+	LineOverflows  uint64
+	LineUnderflows uint64
+	PageOverflows  uint64
+	IRPlacements   uint64 // overflows absorbed by the inflation room
+	IRExpansions   uint64 // §IV-B3 dynamic expansions
+	Repacks        uint64
+	RepackAborts   uint64 // repack checks that found too little gain
+	Predictions    uint64 // §IV-B2 speculative page uncompressions
+	PageFaults     uint64 // LCP-only: OS faults on page overflow
+}
+
+// DemandAccesses returns the LLC-visible access count, the denominator
+// of the paper's relative-extra-access figures.
+func (s Stats) DemandAccesses() uint64 { return s.DemandReads + s.DemandWrites }
+
+// ExtraAccesses returns the compression-induced additional memory
+// accesses (the numerator of Figs. 4 and 6).
+func (s Stats) ExtraAccesses() uint64 {
+	return s.SplitAccesses + s.OverflowAccesses + s.MetadataReads + s.MetadataWrites +
+		s.RepackAccesses + s.SpeculationMiss
+}
+
+// RelativeExtra returns extra accesses relative to demand accesses.
+func (s Stats) RelativeExtra() float64 {
+	if s.DemandAccesses() == 0 {
+		return 0
+	}
+	return float64(s.ExtraAccesses()) / float64(s.DemandAccesses())
+}
+
+// Controller is the OSPA-facing memory controller interface.
+type Controller interface {
+	// Name identifies the architecture ("uncompressed", "lcp",
+	// "lcp-align", "compresso").
+	Name() string
+
+	// ReadLine serves an LLC fill of the given OSPA line address
+	// (line units) issued at core cycle now.
+	ReadLine(now uint64, lineAddr uint64) Result
+
+	// WriteLine serves a dirty LLC writeback carrying the line's new
+	// 64-byte value.
+	WriteLine(now uint64, lineAddr uint64, data []byte) Result
+
+	// InstallPage pre-populates an OSPA page with its initial lines at
+	// simulation setup, with no stat or timing charges (the paper's
+	// fast-forward to a CompressPoint).
+	InstallPage(page uint64, lines [][]byte)
+
+	// Stats returns the access accounting so far.
+	Stats() Stats
+
+	// ResetStats zeroes the accounting (end of warmup) without
+	// touching memory contents or cache state.
+	ResetStats()
+
+	// CompressedBytes returns the current MPA bytes used for data
+	// (excluding metadata), for compression-ratio reporting.
+	CompressedBytes() int64
+
+	// InstalledBytes returns the OSPA bytes installed (footprint).
+	InstalledBytes() int64
+}
+
+// CompressionRatio returns footprint / compressed storage for c
+// (1.0 when nothing is installed).
+func CompressionRatio(c Controller) float64 {
+	used := c.CompressedBytes()
+	if used <= 0 {
+		return 1
+	}
+	return float64(c.InstalledBytes()) / float64(used)
+}
+
+// Uncompressed is the baseline controller: OSPA == MPA, every demand
+// access is exactly one DRAM access, no metadata.
+type Uncompressed struct {
+	mem       *dram.Memory
+	stats     Stats
+	installed int64
+}
+
+// NewUncompressed builds the baseline over mem.
+func NewUncompressed(mem *dram.Memory) *Uncompressed {
+	return &Uncompressed{mem: mem}
+}
+
+// Name implements Controller.
+func (u *Uncompressed) Name() string { return "uncompressed" }
+
+// ReadLine implements Controller.
+func (u *Uncompressed) ReadLine(now uint64, lineAddr uint64) Result {
+	u.stats.DemandReads++
+	u.stats.DataReads++
+	return Result{Done: u.mem.Access(now, lineAddr, false)}
+}
+
+// WriteLine implements Controller.
+func (u *Uncompressed) WriteLine(now uint64, lineAddr uint64, data []byte) Result {
+	u.stats.DemandWrites++
+	u.stats.DataWrites++
+	u.mem.Access(now, lineAddr, true)
+	return Result{Done: now}
+}
+
+// InstallPage implements Controller.
+func (u *Uncompressed) InstallPage(page uint64, lines [][]byte) {
+	u.installed += PageSize
+}
+
+// Stats implements Controller.
+func (u *Uncompressed) Stats() Stats { return u.stats }
+
+// ResetStats implements Controller.
+func (u *Uncompressed) ResetStats() { u.stats = Stats{} }
+
+// CompressedBytes implements Controller: the baseline stores pages
+// verbatim.
+func (u *Uncompressed) CompressedBytes() int64 { return u.installed }
+
+// InstalledBytes implements Controller.
+func (u *Uncompressed) InstalledBytes() int64 { return u.installed }

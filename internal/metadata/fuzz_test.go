@@ -1,0 +1,35 @@
+package metadata
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnpack: arbitrary 64-byte images must either fail cleanly or
+// decode to an entry whose re-pack/re-unpack is a fixed point (spare
+// bits are canonicalized to zero).
+func FuzzUnpack(f *testing.F) {
+	f.Add(make([]byte, EntrySize))
+	f.Add(bytes.Repeat([]byte{0xff}, EntrySize))
+	f.Add(bytes.Repeat([]byte{0x5a, 0x00, 0x81}, 22))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < EntrySize {
+			padded := make([]byte, EntrySize)
+			copy(padded, data)
+			data = padded
+		}
+		e, err := Unpack(data[:EntrySize])
+		if err != nil {
+			return // clean rejection
+		}
+		var repacked [EntrySize]byte
+		e.Pack(repacked[:])
+		e2, err := Unpack(repacked[:])
+		if err != nil {
+			t.Fatalf("re-unpack of packed entry failed: %v", err)
+		}
+		if e2 != e {
+			t.Fatalf("pack/unpack not a fixed point:\n%+v\n%+v", e, e2)
+		}
+	})
+}

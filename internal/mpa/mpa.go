@@ -1,0 +1,214 @@
+// Package mpa manages the machine physical address space of a
+// compressed memory system: the storage that actually exists behind
+// the larger OSPA space the controller advertises to the OS.
+//
+// Two allocation disciplines from §II-D of the paper are provided:
+//
+//   - ChunkAllocator: incremental allocation in fixed 512 B chunks
+//     (Compresso's choice — trivial management, 8 possible page sizes,
+//     enables dynamic inflation-room expansion).
+//   - BuddyAllocator: variable-sized chunks (512 B/1 K/2 K/4 K), the
+//     alternative evaluated in Fig. 4, which fragments and forces
+//     whole-page moves on size changes.
+package mpa
+
+import "fmt"
+
+// ChunkSize is the fixed allocation unit in bytes.
+const ChunkSize = 512
+
+// ChunkAllocator hands out fixed 512 B machine chunks from a free list.
+type ChunkAllocator struct {
+	total int
+	free  []uint32
+	used  map[uint32]bool
+}
+
+// NewChunkAllocator creates an allocator over totalChunks chunks
+// numbered 0..totalChunks-1.
+func NewChunkAllocator(totalChunks int) *ChunkAllocator {
+	if totalChunks <= 0 {
+		panic("mpa: non-positive chunk count")
+	}
+	a := &ChunkAllocator{
+		total: totalChunks,
+		free:  make([]uint32, 0, totalChunks),
+		used:  make(map[uint32]bool),
+	}
+	// Stack the free list so low chunk numbers are handed out first,
+	// keeping early allocations dense (row-buffer friendly).
+	for i := totalChunks - 1; i >= 0; i-- {
+		a.free = append(a.free, uint32(i))
+	}
+	return a
+}
+
+// Alloc returns a free chunk number, or ok=false when memory is
+// exhausted (the out-of-MPA condition §V-B handles with ballooning).
+func (a *ChunkAllocator) Alloc() (uint32, bool) {
+	if len(a.free) == 0 {
+		return 0, false
+	}
+	c := a.free[len(a.free)-1]
+	a.free = a.free[:len(a.free)-1]
+	a.used[c] = true
+	return c, true
+}
+
+// Free returns chunk c to the allocator. Double frees panic: they are
+// always controller bugs.
+func (a *ChunkAllocator) Free(c uint32) {
+	if !a.used[c] {
+		panic(fmt.Sprintf("mpa: double free of chunk %d", c))
+	}
+	delete(a.used, c)
+	a.free = append(a.free, c)
+}
+
+// FreeChunks returns the number of unallocated chunks.
+func (a *ChunkAllocator) FreeChunks() int { return len(a.free) }
+
+// UsedChunks returns the number of allocated chunks.
+func (a *ChunkAllocator) UsedChunks() int { return a.total - len(a.free) }
+
+// Total returns the total chunk count.
+func (a *ChunkAllocator) Total() int { return a.total }
+
+// UsedBytes returns the allocated footprint in bytes.
+func (a *ChunkAllocator) UsedBytes() int64 { return int64(a.UsedChunks()) * ChunkSize }
+
+// BuddyAllocator allocates variable-sized blocks of 512 B << order,
+// order 0..maxOrder, by buddy splitting/coalescing. With maxOrder 3 it
+// provides the 512 B/1 K/2 K/4 K page sizes of the paper's
+// variable-chunk comparison.
+type BuddyAllocator struct {
+	maxOrder int
+	// free[o] holds free block base chunk numbers of order o.
+	free  [][]uint32
+	alloc map[uint32]int // base -> order of live allocations
+	total int            // total chunks
+}
+
+// NewBuddyAllocator creates a buddy allocator over totalChunks 512 B
+// chunks; totalChunks must be a multiple of the largest block
+// (1<<maxOrder chunks).
+func NewBuddyAllocator(totalChunks, maxOrder int) *BuddyAllocator {
+	top := 1 << maxOrder
+	if totalChunks <= 0 || totalChunks%top != 0 {
+		panic(fmt.Sprintf("mpa: total %d not a multiple of %d", totalChunks, top))
+	}
+	b := &BuddyAllocator{
+		maxOrder: maxOrder,
+		free:     make([][]uint32, maxOrder+1),
+		alloc:    make(map[uint32]int),
+		total:    totalChunks,
+	}
+	for base := 0; base < totalChunks; base += top {
+		b.free[maxOrder] = append(b.free[maxOrder], uint32(base))
+	}
+	return b
+}
+
+// orderFor returns the smallest order whose block holds size bytes.
+func (b *BuddyAllocator) orderFor(sizeBytes int) (int, error) {
+	if sizeBytes <= 0 {
+		return 0, fmt.Errorf("mpa: non-positive size %d", sizeBytes)
+	}
+	for o := 0; o <= b.maxOrder; o++ {
+		if sizeBytes <= ChunkSize<<o {
+			return o, nil
+		}
+	}
+	return 0, fmt.Errorf("mpa: size %d exceeds max block %d", sizeBytes, ChunkSize<<b.maxOrder)
+}
+
+// Alloc returns the base chunk of a block big enough for sizeBytes,
+// or ok=false when no block is available (fragmentation or exhaustion).
+func (b *BuddyAllocator) Alloc(sizeBytes int) (base uint32, ok bool) {
+	o, err := b.orderFor(sizeBytes)
+	if err != nil {
+		panic(err)
+	}
+	// Find the smallest order with a free block, splitting downward.
+	from := -1
+	for i := o; i <= b.maxOrder; i++ {
+		if len(b.free[i]) > 0 {
+			from = i
+			break
+		}
+	}
+	if from == -1 {
+		return 0, false
+	}
+	blk := b.free[from][len(b.free[from])-1]
+	b.free[from] = b.free[from][:len(b.free[from])-1]
+	for from > o {
+		from--
+		buddy := blk + uint32(1<<from)
+		b.free[from] = append(b.free[from], buddy)
+	}
+	b.alloc[blk] = o
+	return blk, true
+}
+
+// Free returns the block at base to the allocator, coalescing buddies.
+func (b *BuddyAllocator) Free(base uint32) {
+	o, ok := b.alloc[base]
+	if !ok {
+		panic(fmt.Sprintf("mpa: free of unallocated block %d", base))
+	}
+	delete(b.alloc, base)
+	for o < b.maxOrder {
+		buddy := base ^ uint32(1<<o)
+		found := -1
+		for i, f := range b.free[o] {
+			if f == buddy {
+				found = i
+				break
+			}
+		}
+		if found == -1 {
+			break
+		}
+		b.free[o] = append(b.free[o][:found], b.free[o][found+1:]...)
+		if buddy < base {
+			base = buddy
+		}
+		o++
+	}
+	b.free[o] = append(b.free[o], base)
+}
+
+// BlockBytes returns the byte size of the live allocation at base.
+func (b *BuddyAllocator) BlockBytes(base uint32) int {
+	o, ok := b.alloc[base]
+	if !ok {
+		panic(fmt.Sprintf("mpa: BlockBytes of unallocated block %d", base))
+	}
+	return ChunkSize << o
+}
+
+// FreeBytes returns the total free bytes (may be fragmented).
+func (b *BuddyAllocator) FreeBytes() int64 {
+	var total int64
+	for o, blocks := range b.free {
+		total += int64(len(blocks)) * int64(ChunkSize<<o)
+	}
+	return total
+}
+
+// UsedBytes returns the total allocated bytes.
+func (b *BuddyAllocator) UsedBytes() int64 {
+	return int64(b.total)*ChunkSize - b.FreeBytes()
+}
+
+// LargestFree returns the byte size of the largest free block (0 when
+// exhausted), a direct fragmentation measure.
+func (b *BuddyAllocator) LargestFree() int {
+	for o := b.maxOrder; o >= 0; o-- {
+		if len(b.free[o]) > 0 {
+			return ChunkSize << o
+		}
+	}
+	return 0
+}

@@ -1,0 +1,227 @@
+package mpa
+
+import (
+	"testing"
+	"testing/quick"
+
+	"compresso/internal/rng"
+)
+
+func TestChunkAllocBasics(t *testing.T) {
+	a := NewChunkAllocator(4)
+	if a.Total() != 4 || a.FreeChunks() != 4 || a.UsedChunks() != 0 {
+		t.Fatalf("fresh allocator: %d/%d", a.FreeChunks(), a.Total())
+	}
+	seen := map[uint32]bool{}
+	for i := 0; i < 4; i++ {
+		c, ok := a.Alloc()
+		if !ok || seen[c] || c >= 4 {
+			t.Fatalf("Alloc #%d = %d, %v", i, c, ok)
+		}
+		seen[c] = true
+	}
+	if _, ok := a.Alloc(); ok {
+		t.Fatal("allocation succeeded past capacity")
+	}
+	if a.UsedBytes() != 4*ChunkSize {
+		t.Fatalf("UsedBytes = %d", a.UsedBytes())
+	}
+	a.Free(2)
+	if a.FreeChunks() != 1 {
+		t.Fatal("free count wrong after Free")
+	}
+	c, ok := a.Alloc()
+	if !ok || c != 2 {
+		t.Fatalf("realloc = %d, %v, want 2", c, ok)
+	}
+}
+
+func TestChunkDoubleFreePanics(t *testing.T) {
+	a := NewChunkAllocator(2)
+	c, _ := a.Alloc()
+	a.Free(c)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	a.Free(c)
+}
+
+func TestChunkAllocLowFirst(t *testing.T) {
+	a := NewChunkAllocator(8)
+	c0, _ := a.Alloc()
+	c1, _ := a.Alloc()
+	if c0 != 0 || c1 != 1 {
+		t.Fatalf("first allocations %d, %d; want dense low chunks", c0, c1)
+	}
+}
+
+func TestBuddyAllocSizes(t *testing.T) {
+	b := NewBuddyAllocator(8, 3) // one 4 KB superblock
+	base, ok := b.Alloc(4096)
+	if !ok || base != 0 {
+		t.Fatalf("Alloc(4096) = %d, %v", base, ok)
+	}
+	if b.BlockBytes(base) != 4096 {
+		t.Fatalf("BlockBytes = %d", b.BlockBytes(base))
+	}
+	if _, ok := b.Alloc(512); ok {
+		t.Fatal("allocation succeeded in full allocator")
+	}
+	b.Free(base)
+	if b.FreeBytes() != 4096 {
+		t.Fatalf("FreeBytes = %d after free", b.FreeBytes())
+	}
+}
+
+func TestBuddySplitAndCoalesce(t *testing.T) {
+	b := NewBuddyAllocator(8, 3)
+	// Split 4 KB into 512+512+1K+2K.
+	a1, _ := b.Alloc(512)
+	a2, _ := b.Alloc(512)
+	a3, _ := b.Alloc(1024)
+	a4, _ := b.Alloc(2048)
+	if b.FreeBytes() != 0 {
+		t.Fatalf("FreeBytes = %d, want 0", b.FreeBytes())
+	}
+	for _, base := range []uint32{a1, a2, a3, a4} {
+		b.Free(base)
+	}
+	if b.LargestFree() != 4096 {
+		t.Fatalf("LargestFree = %d after freeing all; coalescing broken", b.LargestFree())
+	}
+}
+
+func TestBuddyFragmentation(t *testing.T) {
+	b := NewBuddyAllocator(16, 3) // two 4 KB superblocks
+	var bases []uint32
+	for i := 0; i < 16; i++ {
+		base, ok := b.Alloc(512)
+		if !ok {
+			t.Fatalf("Alloc #%d failed", i)
+		}
+		bases = append(bases, base)
+	}
+	// Free every other chunk: 4 KB free total but fragmented.
+	for i := 0; i < 16; i += 2 {
+		b.Free(bases[i])
+	}
+	if b.FreeBytes() != 8*512 {
+		t.Fatalf("FreeBytes = %d", b.FreeBytes())
+	}
+	if b.LargestFree() != 512 {
+		t.Fatalf("LargestFree = %d, want 512 (fragmented)", b.LargestFree())
+	}
+	if _, ok := b.Alloc(1024); ok {
+		t.Fatal("1 KB allocation succeeded despite fragmentation")
+	}
+}
+
+func TestBuddyInvalidSizePanics(t *testing.T) {
+	b := NewBuddyAllocator(8, 3)
+	for _, size := range []int{0, -5, 8192} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Alloc(%d) did not panic", size)
+				}
+			}()
+			b.Alloc(size)
+		}()
+	}
+}
+
+func TestBuddyFreeUnallocatedPanics(t *testing.T) {
+	b := NewBuddyAllocator(8, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("free of unallocated block did not panic")
+		}
+	}()
+	b.Free(0)
+}
+
+func TestBuddyConstructorValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("misaligned total did not panic")
+		}
+	}()
+	NewBuddyAllocator(10, 3)
+}
+
+// TestBuddyPropertyConservation: random alloc/free sequences conserve
+// bytes and never hand out overlapping blocks.
+func TestBuddyPropertyConservation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		const total = 64 // chunks = 32 KB
+		b := NewBuddyAllocator(total, 3)
+		type blk struct {
+			base uint32
+			size int
+		}
+		var live []blk
+		sizes := []int{512, 1024, 2048, 4096}
+		for step := 0; step < 300; step++ {
+			if len(live) > 0 && r.Bool(0.45) {
+				i := r.Intn(len(live))
+				b.Free(live[i].base)
+				live = append(live[:i], live[i+1:]...)
+			} else {
+				size := sizes[r.Intn(len(sizes))]
+				base, ok := b.Alloc(size)
+				if ok {
+					live = append(live, blk{base, size})
+				}
+			}
+			// Conservation.
+			var used int64
+			for _, l := range live {
+				used += int64(l.size)
+			}
+			if used+b.FreeBytes() != int64(total)*ChunkSize {
+				return false
+			}
+			// No overlaps.
+			occupied := map[uint32]bool{}
+			for _, l := range live {
+				for c := l.base; c < l.base+uint32(l.size/ChunkSize); c++ {
+					if occupied[c] {
+						return false
+					}
+					occupied[c] = true
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunkPropertyConservation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		a := NewChunkAllocator(32)
+		var live []uint32
+		for step := 0; step < 200; step++ {
+			if len(live) > 0 && r.Bool(0.5) {
+				i := r.Intn(len(live))
+				a.Free(live[i])
+				live = append(live[:i], live[i+1:]...)
+			} else if c, ok := a.Alloc(); ok {
+				live = append(live, c)
+			}
+			if a.UsedChunks() != len(live) || a.FreeChunks()+len(live) != 32 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

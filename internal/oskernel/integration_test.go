@@ -1,0 +1,116 @@
+package oskernel_test
+
+import (
+	"testing"
+
+	"compresso/internal/core"
+	"compresso/internal/datagen"
+	"compresso/internal/dram"
+	"compresso/internal/memctl"
+	"compresso/internal/metadata"
+	"compresso/internal/oskernel"
+	"compresso/internal/rng"
+)
+
+// image is a minimal line source for the integration test.
+type image map[uint64][]byte
+
+func (im image) ReadLine(addr uint64, buf []byte) {
+	if l, ok := im[addr]; ok {
+		copy(buf, l)
+		return
+	}
+	for i := range buf {
+		buf[i] = 0
+	}
+}
+
+// TestBallooningKeepsOSTransparent is the §V-B end-to-end scenario: an
+// OSPA space twice the machine memory fills up with data that turns
+// incompressible; the balloon driver reclaims cold pages through the
+// pressure callback so the controller never fails an allocation —
+// without the OS ever knowing about compression.
+func TestBallooningKeepsOSTransparent(t *testing.T) {
+	im := image{}
+	const ospaPages = 128
+	// Machine memory: metadata + 64 data chunks = half the OSPA space.
+	machine := int64(ospaPages)*metadata.EntrySize + 64*512
+
+	mem := dram.New(dram.DDR4_2666())
+	cfg := core.DefaultConfig(ospaPages, machine)
+	var ctl *core.Controller
+	var balloon *oskernel.Balloon
+	cfg.OnMemoryPressure = func(need int) bool { return balloon.OnPressure(need) }
+	ctl = core.New(cfg, mem, im)
+	balloon = oskernel.NewBalloon(ctl, 4)
+
+	r := rng.New(42)
+	now := uint64(0)
+	write := func(addr uint64, data []byte) {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		im[addr] = cp
+		ctl.WriteLine(now, addr, cp)
+		balloon.Note(addr / metadata.LinesPerPage)
+		now += 500
+	}
+
+	// Fill part of the OSPA space with compressible data (48 pages at
+	// one 512 B chunk each fits the 64-chunk machine), then stream
+	// incompressible data over half of it (needs up to 8 chunks per
+	// page: does not fit).
+	for p := uint64(0); p < 48; p++ {
+		for l := uint64(0); l < 64; l += 8 {
+			write(p*64+l, datagen.Line(r, datagen.Seq))
+		}
+	}
+	if balloon.Reclaimed() != 0 {
+		t.Fatalf("compressible fill already ballooned %d pages", balloon.Reclaimed())
+	}
+	for p := uint64(24); p < 48; p++ {
+		for l := uint64(0); l < 64; l++ {
+			write(p*64+l, datagen.Line(r, datagen.Random))
+		}
+	}
+
+	if balloon.PressureEvents() == 0 || balloon.Reclaimed() == 0 {
+		t.Fatalf("no ballooning despite overcommit: %d events, %d reclaimed",
+			balloon.PressureEvents(), balloon.Reclaimed())
+	}
+	if ctl.FreeMachineChunks() < 0 {
+		t.Fatal("allocator inconsistent")
+	}
+	// The machine never held more than its capacity.
+	if ctl.CompressedBytes() > 64*512 {
+		t.Fatalf("compressed bytes %d exceed machine data capacity", ctl.CompressedBytes())
+	}
+	// Reclaimed (cold) pages read back as zero (the OS swapped them
+	// out; a fresh touch is a zero page) without crashing.
+	st := ctl.Stats()
+	for p := uint64(0); p < 48; p++ {
+		ctl.ReadLine(now, p*64)
+		now += 100
+	}
+	if ctl.Stats().DemandReads != st.DemandReads+48 {
+		t.Fatal("reads after ballooning miscounted")
+	}
+	t.Logf("ballooned %d pages over %d pressure events (cost %d cycles)",
+		balloon.Reclaimed(), balloon.PressureEvents(), balloon.ReclaimCost())
+}
+
+// TestBalloonWithPagerConsistency drives a pager and balloon over the
+// same access stream and checks their views stay consistent.
+func TestBalloonWithPagerConsistency(t *testing.T) {
+	pager := oskernel.NewPager(32 * memctl.PageSize)
+	r := rng.New(7)
+	z := rng.NewZipf(r, 128, 0.7)
+	for i := 0; i < 20000; i++ {
+		pager.Touch(uint64(z.Next()))
+	}
+	if pager.Resident() != 32 {
+		t.Fatalf("resident %d, want full budget occupancy", pager.Resident())
+	}
+	if pager.FaultRate() <= 0 || pager.FaultRate() >= 1 {
+		t.Fatalf("fault rate %v", pager.FaultRate())
+	}
+}

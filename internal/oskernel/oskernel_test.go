@@ -1,0 +1,158 @@
+package oskernel
+
+import (
+	"testing"
+
+	"compresso/internal/rng"
+)
+
+func TestPagerBasics(t *testing.T) {
+	p := NewPager(2 * 4096) // 2 pages
+	if !p.Touch(1) {
+		t.Fatal("cold touch did not fault")
+	}
+	if p.Touch(1) {
+		t.Fatal("hot touch faulted")
+	}
+	p.Touch(2)
+	p.Touch(3) // evicts LRU (1)
+	if p.Resident() != 2 {
+		t.Fatalf("resident %d", p.Resident())
+	}
+	if !p.Touch(1) {
+		t.Fatal("evicted page did not fault")
+	}
+	if p.Faults() != 4 || p.Touches() != 5 {
+		t.Fatalf("faults %d touches %d", p.Faults(), p.Touches())
+	}
+}
+
+func TestPagerLRUOrder(t *testing.T) {
+	p := NewPager(2 * 4096)
+	p.Touch(1)
+	p.Touch(2)
+	p.Touch(1) // 2 becomes LRU
+	p.Touch(3) // evicts 2
+	if p.Touch(1) {
+		t.Fatal("MRU page evicted")
+	}
+	if !p.Touch(2) {
+		t.Fatal("LRU page survived")
+	}
+}
+
+func TestPagerUnconstrained(t *testing.T) {
+	p := NewPager(-1)
+	for i := uint64(0); i < 10000; i++ {
+		p.Touch(i)
+	}
+	if p.Faults() != 10000 || p.Resident() != 10000 {
+		t.Fatalf("faults %d resident %d", p.Faults(), p.Resident())
+	}
+	// Re-touching never faults: nothing is ever evicted.
+	for i := uint64(0); i < 10000; i++ {
+		if p.Touch(i) {
+			t.Fatal("unconstrained pager evicted")
+		}
+	}
+}
+
+func TestPagerSetBudgetShrinks(t *testing.T) {
+	p := NewPager(10 * 4096)
+	for i := uint64(0); i < 10; i++ {
+		p.Touch(i)
+	}
+	p.SetBudget(3 * 4096)
+	if p.Resident() != 3 {
+		t.Fatalf("resident %d after shrink", p.Resident())
+	}
+	if p.Budget() != 3*4096 {
+		t.Fatalf("budget %d", p.Budget())
+	}
+}
+
+func TestPagerFaultRateDropsWithBudget(t *testing.T) {
+	run := func(pages int64) float64 {
+		p := NewPager(pages * 4096)
+		r := rng.New(1)
+		z := rng.NewZipf(r, 100, 0.8)
+		for i := 0; i < 50000; i++ {
+			p.Touch(uint64(z.Next()))
+		}
+		return p.FaultRate()
+	}
+	small := run(10)
+	big := run(60)
+	if big >= small {
+		t.Fatalf("fault rate %v at 60 pages >= %v at 10 pages", big, small)
+	}
+	if small == 0 {
+		t.Fatal("no faults under a tight budget")
+	}
+}
+
+// fakeCtl implements Discarder.
+type fakeCtl struct {
+	free      int
+	discarded []uint64
+}
+
+func (f *fakeCtl) Discard(page uint64) {
+	f.discarded = append(f.discarded, page)
+	f.free += 2 // each page frees two chunks
+}
+func (f *fakeCtl) FreeMachineChunks() int { return f.free }
+
+func TestBalloonReclaimsColdest(t *testing.T) {
+	ctl := &fakeCtl{}
+	b := NewBalloon(ctl, 4)
+	for i := uint64(0); i < 10; i++ {
+		b.Note(i)
+	}
+	b.Note(0) // page 0 is hot again; page 1 is now coldest
+	if !b.OnPressure(1) {
+		t.Fatal("pressure freed nothing")
+	}
+	if ctl.free < 4 {
+		t.Fatalf("free %d below watermark", ctl.free)
+	}
+	if len(ctl.discarded) == 0 || ctl.discarded[0] != 1 {
+		t.Fatalf("discarded %v, want coldest (1) first", ctl.discarded)
+	}
+	for _, d := range ctl.discarded {
+		if d == 0 {
+			t.Fatal("balloon reclaimed the hottest page")
+		}
+	}
+	if b.Reclaimed() != uint64(len(ctl.discarded)) {
+		t.Fatal("reclaim count mismatch")
+	}
+	if b.ReclaimCost() == 0 {
+		t.Fatal("no reclaim cost modeled")
+	}
+}
+
+func TestBalloonNothingToFree(t *testing.T) {
+	ctl := &fakeCtl{}
+	b := NewBalloon(ctl, 4)
+	if b.OnPressure(1) {
+		t.Fatal("empty balloon claimed success")
+	}
+	if b.PressureEvents() != 1 {
+		t.Fatal("pressure not counted")
+	}
+}
+
+func TestBalloonForget(t *testing.T) {
+	ctl := &fakeCtl{}
+	b := NewBalloon(ctl, 100)
+	b.Note(1)
+	b.Note(2)
+	b.Forget(1)
+	b.OnPressure(1)
+	for _, d := range ctl.discarded {
+		if d == 1 {
+			t.Fatal("forgotten page reclaimed")
+		}
+	}
+}

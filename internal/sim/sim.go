@@ -1,0 +1,421 @@
+// Package sim is the full-system cycle simulation harness: it wires a
+// workload trace, the cache hierarchy, a memory controller
+// (uncompressed / LCP / LCP+Align / Compresso) and the DRAM model into
+// the single- and multi-core experiments of the paper's cycle-based
+// evaluation (Tab. III configuration, Tab. IV mixes).
+package sim
+
+import (
+	"fmt"
+
+	"compresso/internal/cache"
+	"compresso/internal/core"
+	"compresso/internal/cpu"
+	"compresso/internal/dmc"
+	"compresso/internal/dram"
+	"compresso/internal/lcp"
+	"compresso/internal/memctl"
+	"compresso/internal/metadata"
+	"compresso/internal/workload"
+)
+
+// System selects the memory architecture under test.
+type System int
+
+// The evaluated systems (§VI-F).
+const (
+	Uncompressed System = iota
+	LCP
+	LCPAlign
+	Compresso
+	// DMC is the related-work dual-compression baseline (§VIII); it is
+	// not part of the paper's headline comparison set (Systems) but is
+	// available for the related-dmc experiment.
+	DMC
+	// MXT is the IBM-MXT-style all-coarse-granularity baseline (§VIII).
+	MXT
+)
+
+// String returns the system's name.
+func (s System) String() string {
+	switch s {
+	case Uncompressed:
+		return "uncompressed"
+	case LCP:
+		return "lcp"
+	case LCPAlign:
+		return "lcp-align"
+	case Compresso:
+		return "compresso"
+	case DMC:
+		return "dmc"
+	case MXT:
+		return "mxt"
+	}
+	return fmt.Sprintf("System(%d)", int(s))
+}
+
+// Systems lists the paper's four evaluated systems in order.
+func Systems() []System { return []System{Uncompressed, LCP, LCPAlign, Compresso} }
+
+// ExtendedSystems adds the related-work DMC and MXT baselines.
+func ExtendedSystems() []System { return append(Systems(), DMC, MXT) }
+
+// Config parameterizes one simulation run.
+type Config struct {
+	System System
+
+	// Ops is the number of trace operations per core (the analogue of
+	// a 200M-instruction CompressPoint; scale to taste).
+	Ops uint64
+
+	// WarmupFrac of Ops run before statistics are reset.
+	WarmupFrac float64
+
+	// Seed drives all randomness.
+	Seed uint64
+
+	// FootprintScale divides every benchmark's footprint (speed knob
+	// for tests; 1 for experiments).
+	FootprintScale int
+
+	CPU  cpu.Config
+	DRAM dram.Config
+
+	// CompressoMod / LCPMod tweak the controller configs (ablations).
+	CompressoMod func(*core.Config)
+	LCPMod       func(*lcp.Config)
+}
+
+// DefaultConfig returns the paper's Tab. III setup for the given
+// system.
+func DefaultConfig(sys System) Config {
+	return Config{
+		System:         sys,
+		Ops:            400_000,
+		WarmupFrac:     0.1,
+		Seed:           42,
+		FootprintScale: 1,
+		CPU:            cpu.DefaultConfig(),
+		DRAM:           dram.DDR4_2666(),
+	}
+}
+
+// Result captures one run's outcome.
+type Result struct {
+	Bench  string
+	System string
+
+	Cycles uint64
+	Instrs uint64
+	IPC    float64
+
+	Mem     memctl.Stats
+	Dram    dram.Stats
+	MDCache metadata.CacheStats
+
+	// Ratio is the end-of-run compression ratio (1 for uncompressed).
+	Ratio float64
+
+	L3MissRate float64
+}
+
+// mdStatser is implemented by the compressed controllers.
+type mdStatser interface {
+	MetadataCacheStats() metadata.CacheStats
+}
+
+// routedSource maps global OSPA line addresses to per-core images.
+type routedSource struct {
+	basePages []uint64
+	images    []*workload.Image
+}
+
+func (r *routedSource) ReadLine(lineAddr uint64, buf []byte) {
+	page := lineAddr / memctl.LinesPerPage
+	for i := len(r.basePages) - 1; i >= 0; i-- {
+		if page >= r.basePages[i] {
+			local := lineAddr - r.basePages[i]*memctl.LinesPerPage
+			r.images[i].ReadLine(local, buf)
+			return
+		}
+	}
+	panic(fmt.Sprintf("sim: line %d outside every core's range", lineAddr))
+}
+
+// scaleMDCache shrinks a metadata cache proportionally to the
+// footprint scale, preserving the paper's footprint-to-metadata-cache
+// reach ratio (a fixed 96 KB cache would cover the whole scaled
+// footprint and hide all metadata pressure).
+func scaleMDCache(mc *metadata.CacheConfig, scale int) {
+	if scale <= 1 {
+		return
+	}
+	// Scale by half the footprint divisor: the paper sizes the cache
+	// at second-level-TLB reach, which covers the hot set of most
+	// benchmarks; a full proportional shrink would overstate metadata
+	// pressure (paper's worst compression slowdown is 15%).
+	scale = (scale + 1) / 2
+	unit := mc.Ways * metadata.EntrySize
+	size := mc.SizeBytes / scale
+	size -= size % unit
+	if size < 4*unit {
+		size = 4 * unit
+	}
+	mc.SizeBytes = size
+}
+
+// scaledL3Bytes shrinks the L3 with the footprint for the same reason.
+func scaledL3Bytes(perCore, scale int) int {
+	size := perCore / scale
+	const min = 128 << 10
+	if size < min {
+		return min
+	}
+	// Keep a power-of-two set count.
+	p := min
+	for p*2 <= size {
+		p *= 2
+	}
+	return p
+}
+
+// buildController constructs the system's controller for the given
+// OSPA page count. Machine memory is sized so the cycle-based runs are
+// never capacity constrained (capacity effects are evaluated by
+// internal/capacity, per the paper's dual methodology).
+func buildController(cfg Config, sys System, ospaPages int, mem *dram.Memory, src memctl.LineSource) memctl.Controller {
+	machineBytes := int64(ospaPages)*memctl.PageSize + int64(ospaPages)*metadata.EntrySize + 1<<20
+	switch sys {
+	case Uncompressed:
+		return memctl.NewUncompressed(mem)
+	case LCP:
+		c := lcp.DefaultConfig(ospaPages, machineBytes)
+		if cfg.LCPMod != nil {
+			cfg.LCPMod(&c)
+		}
+		scaleMDCache(&c.MetadataCache, cfg.FootprintScale)
+		return lcp.New(c, mem, src)
+	case LCPAlign:
+		c := lcp.AlignConfig(ospaPages, machineBytes)
+		if cfg.LCPMod != nil {
+			cfg.LCPMod(&c)
+		}
+		scaleMDCache(&c.MetadataCache, cfg.FootprintScale)
+		return lcp.New(c, mem, src)
+	case Compresso:
+		c := core.DefaultConfig(ospaPages, machineBytes)
+		if cfg.CompressoMod != nil {
+			cfg.CompressoMod(&c)
+		}
+		scaleMDCache(&c.MetadataCache, cfg.FootprintScale)
+		return core.New(c, mem, src)
+	case DMC:
+		c := dmc.DefaultConfig(ospaPages, machineBytes)
+		scaleMDCache(&c.MetadataCache, cfg.FootprintScale)
+		return dmc.New(c, mem, src)
+	case MXT:
+		c := dmc.MXTConfig(ospaPages, machineBytes)
+		scaleMDCache(&c.MetadataCache, cfg.FootprintScale)
+		return dmc.New(c, mem, src)
+	}
+	panic("sim: unknown system")
+}
+
+func scaled(p workload.Profile, scale int) workload.Profile {
+	if scale > 1 {
+		p.FootprintPages /= scale
+		if p.FootprintPages < 16 {
+			p.FootprintPages = 16
+		}
+	}
+	return p
+}
+
+// RunSingle simulates one benchmark on a single-core system.
+func RunSingle(prof workload.Profile, cfg Config) Result {
+	prof = scaled(prof, cfg.FootprintScale)
+	tr := workload.NewTrace(prof, cfg.Seed, cfg.Ops)
+	img := tr.Image()
+
+	mem := dram.New(cfg.DRAM)
+	src := &routedSource{basePages: []uint64{0}, images: []*workload.Image{img}}
+	ctl := buildController(cfg, cfg.System, prof.FootprintPages, mem, src)
+	img.InstallInto(ctl)
+
+	l3 := cache.New("l3", scaledL3Bytes(2<<20, cfg.FootprintScale), 16)
+	hier := cache.NewHierarchy(l3)
+	c := cpu.New(cfg.CPU, hier, ctl, src)
+
+	warm := uint64(float64(cfg.Ops) * cfg.WarmupFrac)
+	var op workload.Op
+	for i := uint64(0); i < cfg.Ops; i++ {
+		tr.Next(&op)
+		c.Step(&op)
+		if i+1 == warm {
+			resetAll(ctl, mem, hier)
+		}
+	}
+	c.Drain()
+
+	return collect(prof.Name, cfg.System, c, ctl, mem, l3)
+}
+
+func resetAll(ctl memctl.Controller, mem *dram.Memory, hiers ...interface{ ResetStats() }) {
+	ctl.ResetStats()
+	mem.ResetStats()
+	for _, h := range hiers {
+		h.ResetStats()
+	}
+}
+
+func collect(bench string, sys System, c *cpu.Core, ctl memctl.Controller, mem *dram.Memory, l3 *cache.Cache) Result {
+	res := Result{
+		Bench:  bench,
+		System: sys.String(),
+		Cycles: c.Stats().Cycles,
+		Instrs: c.Stats().Instrs,
+		IPC:    c.Stats().IPC(),
+		Mem:    ctl.Stats(),
+		Dram:   mem.Stats(),
+		Ratio:  memctl.CompressionRatio(ctl),
+	}
+	if ms, ok := ctl.(mdStatser); ok {
+		res.MDCache = ms.MetadataCacheStats()
+	}
+	res.L3MissRate = l3.Stats().MissRate()
+	return res
+}
+
+// MultiResult is a 4-core run's outcome: per-core results plus the
+// shared memory-system stats.
+type MultiResult struct {
+	MixName string
+	System  string
+	Cores   []Result
+	Mem     memctl.Stats
+	Dram    dram.Stats
+	Ratio   float64
+}
+
+// WeightedSpeedup computes the standard multi-core metric against a
+// baseline run of the same mix: the mean of per-core IPC ratios.
+func (m MultiResult) WeightedSpeedup(base MultiResult) float64 {
+	if len(m.Cores) != len(base.Cores) {
+		panic("sim: mismatched mix results")
+	}
+	total := 0.0
+	for i := range m.Cores {
+		total += m.Cores[i].IPC / base.Cores[i].IPC
+	}
+	return total / float64(len(m.Cores))
+}
+
+// RunMix simulates a multi-core mix sharing the L3, controller and
+// DRAM. Cores interleave in local-time order (the syncedFastForward
+// analogue: everyone starts at its region and contends throughout).
+func RunMix(mixName string, profs []workload.Profile, cfg Config) MultiResult {
+	n := len(profs)
+	if n == 0 {
+		panic("sim: empty mix")
+	}
+	traces := make([]*workload.Trace, n)
+	images := make([]*workload.Image, n)
+	base := make([]uint64, n)
+	var nextPage uint64
+	for i, p := range profs {
+		p = scaled(p, cfg.FootprintScale)
+		traces[i] = workload.NewTrace(p, cfg.Seed+uint64(i)*7919, cfg.Ops)
+		images[i] = traces[i].Image()
+		base[i] = nextPage
+		nextPage += uint64(p.FootprintPages)
+	}
+	// Multi-core systems get a second memory channel and a shared
+	// metadata cache sized for the combined footprint, the Xeon-class
+	// provisioning the paper's 4-core results imply.
+	dcfg := cfg.DRAM
+	if n > 1 && dcfg.Channels == 1 {
+		dcfg.Channels = 2
+	}
+	mem := dram.New(dcfg)
+	if cfg.FootprintScale > 2 {
+		cfg.FootprintScale /= 2 // shared md cache covers n cores' pages
+	}
+	src := &routedSource{basePages: base, images: images}
+	ctl := buildController(cfg, cfg.System, int(nextPage), mem, src)
+	for i := range images {
+		for p := uint64(0); p < uint64(images[i].FootprintPages()); p++ {
+			ctl.InstallPage(base[i]+p, images[i].Page(p))
+		}
+	}
+
+	// Shared L3: 8 MB for 4 cores (Tab. III), scaled by core count and
+	// footprint scale.
+	l3 := cache.New("l3", scaledL3Bytes(2<<20*n, cfg.FootprintScale), 16)
+	cores := make([]*cpu.Core, n)
+	hiers := make([]*cache.Hierarchy, n)
+	for i := range cores {
+		hiers[i] = cache.NewHierarchy(l3)
+		cores[i] = cpu.New(cfg.CPU, hiers[i], ctl, src)
+	}
+
+	warm := uint64(float64(cfg.Ops) * cfg.WarmupFrac)
+	done := make([]uint64, n) // ops completed per core
+	var op workload.Op
+	warmed := false
+	for {
+		// Pick the core with the smallest local clock that still has
+		// work; this keeps the cores continuously contending.
+		sel := -1
+		for i := range cores {
+			if done[i] >= cfg.Ops {
+				continue
+			}
+			if sel == -1 || cores[i].Now() < cores[sel].Now() {
+				sel = i
+			}
+		}
+		if sel == -1 {
+			break
+		}
+		traces[sel].Next(&op)
+		op.LineAddr += base[sel] * memctl.LinesPerPage
+		cores[sel].Step(&op)
+		done[sel]++
+		if !warmed {
+			var minDone uint64 = 1 << 62
+			for _, d := range done {
+				if d < minDone {
+					minDone = d
+				}
+			}
+			if minDone >= warm {
+				rs := make([]interface{ ResetStats() }, len(hiers))
+				for i := range hiers {
+					rs[i] = hiers[i]
+				}
+				resetAll(ctl, mem, rs...)
+				warmed = true
+			}
+		}
+	}
+	out := MultiResult{
+		MixName: mixName,
+		System:  cfg.System.String(),
+		Mem:     ctl.Stats(),
+		Dram:    mem.Stats(),
+		Ratio:   memctl.CompressionRatio(ctl),
+	}
+	for i := range cores {
+		cores[i].Drain()
+		r := Result{
+			Bench:  profs[i].Name,
+			System: cfg.System.String(),
+			Cycles: cores[i].Stats().Cycles,
+			Instrs: cores[i].Stats().Instrs,
+			IPC:    cores[i].Stats().IPC(),
+		}
+		out.Cores = append(out.Cores, r)
+	}
+	return out
+}

@@ -1,0 +1,208 @@
+package sim
+
+import (
+	"compresso/internal/core"
+	"testing"
+
+	"compresso/internal/workload"
+)
+
+func quickCfg(sys System) Config {
+	cfg := DefaultConfig(sys)
+	cfg.Ops = 30_000
+	cfg.FootprintScale = 16
+	return cfg
+}
+
+func TestRunSingleAllSystems(t *testing.T) {
+	prof, _ := workload.ByName("gcc")
+	for _, sys := range Systems() {
+		res := RunSingle(prof, quickCfg(sys))
+		if res.Cycles == 0 || res.Instrs == 0 {
+			t.Fatalf("%v: empty result %+v", sys, res)
+		}
+		if res.System != sys.String() {
+			t.Fatalf("system label %q", res.System)
+		}
+		if sys == Uncompressed && res.Ratio != 1 {
+			t.Fatalf("uncompressed ratio %v", res.Ratio)
+		}
+		if sys == Compresso && res.Ratio <= 1.2 {
+			t.Fatalf("compresso ratio %v too low for gcc", res.Ratio)
+		}
+		t.Logf("%-12v IPC %.3f ratio %.2f extra %.2f", sys, res.IPC, res.Ratio, res.Mem.RelativeExtra())
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	prof, _ := workload.ByName("astar")
+	a := RunSingle(prof, quickCfg(Compresso))
+	b := RunSingle(prof, quickCfg(Compresso))
+	if a.Cycles != b.Cycles || a.Mem != b.Mem {
+		t.Fatalf("non-deterministic: %d vs %d cycles", a.Cycles, b.Cycles)
+	}
+}
+
+func TestCompressedSystemsPayExtraAccesses(t *testing.T) {
+	prof, _ := workload.ByName("milc")
+	cfgU := quickCfg(Uncompressed)
+	cfgC := quickCfg(Compresso)
+	u := RunSingle(prof, cfgU)
+	c := RunSingle(prof, cfgC)
+	if u.Mem.ExtraAccesses() != 0 {
+		t.Fatalf("uncompressed has extra accesses: %+v", u.Mem)
+	}
+	if c.Mem.ExtraAccesses() == 0 {
+		t.Fatal("compresso reported zero extra accesses on a write-heavy benchmark")
+	}
+}
+
+func TestCompressoBeatsLCPOnExtraAccesses(t *testing.T) {
+	// The paper's central claim (Fig. 6): Compresso's optimizations cut
+	// relative extra accesses well below the LCP-style baseline's.
+	// Checked here on one churn-heavy benchmark; the full sweep is
+	// experiment fig4/fig6.
+	prof, _ := workload.ByName("cactusADM")
+	lcp := RunSingle(prof, quickCfg(LCP))
+	comp := RunSingle(prof, quickCfg(Compresso))
+	if comp.Mem.RelativeExtra() >= lcp.Mem.RelativeExtra() {
+		t.Fatalf("compresso extra %.3f >= lcp extra %.3f",
+			comp.Mem.RelativeExtra(), lcp.Mem.RelativeExtra())
+	}
+}
+
+func TestWarmupReset(t *testing.T) {
+	prof, _ := workload.ByName("gamess")
+	cfg := quickCfg(Compresso)
+	cfg.WarmupFrac = 0.5
+	res := RunSingle(prof, cfg)
+	// Post-warmup demand ops must be roughly half the trace (cache
+	// events only; exact equality is not expected).
+	if res.Mem.DemandAccesses() == 0 {
+		t.Fatal("no post-warmup accesses")
+	}
+	cfg0 := quickCfg(Compresso)
+	cfg0.WarmupFrac = 0
+	res0 := RunSingle(prof, cfg0)
+	if res.Mem.DemandAccesses() >= res0.Mem.DemandAccesses() {
+		t.Fatal("warmup reset did not reduce counted accesses")
+	}
+}
+
+func TestMixesResolve(t *testing.T) {
+	ms := Mixes()
+	if len(ms) != 10 {
+		t.Fatalf("%d mixes, want 10", len(ms))
+	}
+	for _, m := range ms {
+		profs, err := m.Profiles()
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if len(profs) != 4 {
+			t.Fatalf("%s: %d profiles", m.Name, len(profs))
+		}
+	}
+	// Spot-check Tab. IV contents.
+	if Mixes()[0].Benches != [4]string{"mcf", "GemsFDTD", "libquantum", "soplex"} {
+		t.Fatalf("mix1 = %v", Mixes()[0].Benches)
+	}
+	if Mixes()[9].Benches != [4]string{"Forestfire", "Pagerank", "Graph500", "cactusADM"} {
+		t.Fatalf("mix10 = %v", Mixes()[9].Benches)
+	}
+}
+
+func TestRunMix(t *testing.T) {
+	profs, err := Mixes()[1].Profiles() // milc, astar, gamess, tonto
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickCfg(Compresso)
+	cfg.Ops = 15_000
+	res := RunMix("mix2", profs, cfg)
+	if len(res.Cores) != 4 {
+		t.Fatalf("%d cores", len(res.Cores))
+	}
+	for i, cr := range res.Cores {
+		if cr.Cycles == 0 || cr.IPC <= 0 {
+			t.Fatalf("core %d empty: %+v", i, cr)
+		}
+	}
+	if res.Ratio <= 1 {
+		t.Fatalf("mix ratio %v", res.Ratio)
+	}
+	base := RunMix("mix2", profs, func() Config { c := quickCfg(Uncompressed); c.Ops = 15_000; return c }())
+	ws := res.WeightedSpeedup(base)
+	if ws < 0.3 || ws > 2.5 {
+		t.Fatalf("weighted speedup %v implausible", ws)
+	}
+	t.Logf("mix2 compresso weighted speedup %.3f, ratio %.2f", ws, res.Ratio)
+}
+
+func TestTabIIIParameters(t *testing.T) {
+	// Pin the Tab. III configuration so refactors cannot silently
+	// change the evaluated system.
+	cfg := DefaultConfig(Compresso)
+	if cfg.CPU.IssueWidth != 4 || cfg.CPU.ROB != 192 {
+		t.Fatalf("core config %+v", cfg.CPU)
+	}
+	if cfg.DRAM.CL != 18 || cfg.DRAM.RCD != 18 || cfg.DRAM.RP != 18 || cfg.DRAM.BL != 8 {
+		t.Fatalf("dram config %+v", cfg.DRAM)
+	}
+	if cfg.DRAM.CoreClocksPerMemClock != 2.25 {
+		t.Fatalf("clock ratio %v", cfg.DRAM.CoreClocksPerMemClock)
+	}
+}
+
+func TestSystemString(t *testing.T) {
+	if Uncompressed.String() != "uncompressed" || Compresso.String() != "compresso" ||
+		LCP.String() != "lcp" || LCPAlign.String() != "lcp-align" {
+		t.Fatal("system names wrong")
+	}
+	if System(9).String() != "System(9)" {
+		t.Fatal("unknown system name wrong")
+	}
+}
+
+func TestAblationHooks(t *testing.T) {
+	prof, _ := workload.ByName("bwaves")
+	cfg := quickCfg(Compresso)
+	cfg.CompressoMod = func(c *core.Config) { c.DynamicRepacking = false; c.PredictOverflows = false }
+	res := RunSingle(prof, cfg)
+	if res.Mem.Repacks != 0 || res.Mem.Predictions != 0 {
+		t.Fatalf("ablation hook ignored: %+v", res.Mem)
+	}
+}
+
+func TestExtendedSystemsRun(t *testing.T) {
+	// The related-work baselines run through the same harness.
+	prof, _ := workload.ByName("xalancbmk")
+	for _, sys := range []System{DMC, MXT} {
+		cfg := quickCfg(sys)
+		cfg.Ops = 10_000
+		res := RunSingle(prof, cfg)
+		if res.Cycles == 0 || res.Ratio <= 1 {
+			t.Fatalf("%v: %+v", sys, res)
+		}
+		if res.System != sys.String() {
+			t.Fatalf("label %q", res.System)
+		}
+	}
+	if len(ExtendedSystems()) != 6 {
+		t.Fatalf("extended systems: %v", ExtendedSystems())
+	}
+}
+
+func TestMultiCoreContention(t *testing.T) {
+	// Four copies of a memory-bound benchmark sharing one memory system
+	// must each run slower than the benchmark alone.
+	prof, _ := workload.ByName("milc")
+	single := RunSingle(prof, func() Config { c := quickCfg(Uncompressed); c.Ops = 10_000; return c }())
+	mix := RunMix("contention", []workload.Profile{prof, prof, prof, prof},
+		func() Config { c := quickCfg(Uncompressed); c.Ops = 10_000; return c }())
+	for i, cr := range mix.Cores {
+		if cr.IPC >= single.IPC {
+			t.Fatalf("core %d IPC %.3f not below solo IPC %.3f", i, cr.IPC, single.IPC)
+		}
+	}
+}

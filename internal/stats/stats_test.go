@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGeomean(t *testing.T) {
+	got := Geomean([]float64{1, 2, 4})
+	if math.Abs(got-2) > 1e-9 {
+		t.Errorf("Geomean(1,2,4) = %v, want 2", got)
+	}
+	if Geomean(nil) != 0 {
+		t.Error("Geomean(nil) != 0")
+	}
+	got = Geomean([]float64{0.5, 2})
+	if math.Abs(got-1) > 1e-9 {
+		t.Errorf("Geomean(0.5,2) = %v, want 1", got)
+	}
+}
+
+func TestGeomeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on zero value")
+		}
+	}()
+	Geomean([]float64{1, 0})
+}
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("Mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 4}, {50, 2.5}, {25, 1.75},
+	}
+	for _, tc := range cases {
+		if got := Percentile(xs, tc.p); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("Percentile(nil) != 0")
+	}
+	// Input must not be mutated.
+	if xs[0] != 4 {
+		t.Error("Percentile sorted caller's slice")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	h.Add(512)
+	h.Add(512)
+	h.Add(4096)
+	if h.Total() != 3 || h.Count(512) != 2 || h.Count(1024) != 0 {
+		t.Fatalf("histogram counts wrong: %v", h)
+	}
+	if h.Frac(512) != 2.0/3 {
+		t.Errorf("Frac = %v", h.Frac(512))
+	}
+	if b := h.Buckets(); len(b) != 2 || b[0] != 512 || b[1] != 4096 {
+		t.Errorf("Buckets = %v", b)
+	}
+	empty := NewHistogram()
+	if empty.Frac(1) != 0 {
+		t.Error("empty Frac != 0")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("bench", "ratio")
+	tbl.AddRow("gcc", 1.85)
+	tbl.AddRow("mcf", 1.0)
+	out := tbl.String()
+	if !strings.Contains(out, "bench") || !strings.Contains(out, "1.850") {
+		t.Fatalf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines (header, sep, 2 rows), got %d:\n%s", len(lines), out)
+	}
+	// Columns align: both data rows start the ratio column at the same
+	// byte offset.
+	idx1 := strings.Index(lines[2], "1.850")
+	idx2 := strings.Index(lines[3], "1.000")
+	if idx1 != idx2 {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTableMixedTypes(t *testing.T) {
+	tbl := NewTable("a", "b", "c")
+	tbl.AddRow(1, "x", 2.5)
+	if !strings.Contains(tbl.String(), "2.500") {
+		t.Error("float not formatted")
+	}
+}

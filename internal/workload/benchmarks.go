@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"compresso/internal/datagen"
+)
+
+// The benchmark suite of the paper: SPEC CPU2006 plus Graph500,
+// Forestfire and Pagerank (§VI-D). TargetRatio values are read off
+// Fig. 2's BPC+LinePack bars; locality/intensity/store parameters
+// encode each benchmark's published memory character (streaming vs.
+// pointer-chasing, read vs. write heavy, footprint scale). Footprints
+// are scaled down ~100x to keep simulation tractable; all systems see
+// the same scaling so relative results are preserved.
+var profiles = []Profile{
+	{Name: "perlbench", TargetRatio: 1.6, Flavor: TextFlavor, FootprintPages: 1024,
+		HotFraction: 0.15, HotProb: 0.85, ZipfTheta: 0.8, SpatialRun: 4,
+		WriteFrac: 0.30, InstrPerOp: 10, KindChange: 0.05, ZeroStore: 0.25},
+	{Name: "bzip2", TargetRatio: 1.7, Flavor: IntFlavor, FootprintPages: 1024,
+		HotFraction: 0.20, HotProb: 0.80, ZipfTheta: 0.7, SpatialRun: 12,
+		WriteFrac: 0.35, InstrPerOp: 10, KindChange: 0.08, ZeroStore: 0.20,
+		Phases: []Phase{
+			{Frac: 0.5, KindChange: 0.04, ZeroStore: 0.3},
+			{Frac: 0.5, KindChange: 0.12, ZeroStore: 0.1, StoreKind: kindOnly(datagen.Random)},
+		}},
+	{Name: "gcc", TargetRatio: 2.6, Flavor: PointerFlavor, FootprintPages: 2048,
+		HotFraction: 0.15, HotProb: 0.80, ZipfTheta: 0.8, SpatialRun: 6,
+		WriteFrac: 0.35, InstrPerOp: 14, KindChange: 0.05, ZeroStore: 0.45},
+	{Name: "bwaves", TargetRatio: 1.5, Flavor: FloatFlavor, FootprintPages: 3072,
+		HotFraction: 0.50, HotProb: 0.60, ZipfTheta: 0.3, SpatialRun: 28,
+		WriteFrac: 0.40, InstrPerOp: 12, KindChange: 0.12, ZeroStore: 0.10},
+	{Name: "gamess", TargetRatio: 1.7, Flavor: FloatFlavor, FootprintPages: 512,
+		HotFraction: 0.05, HotProb: 0.95, ZipfTheta: 1.0, SpatialRun: 8,
+		WriteFrac: 0.25, InstrPerOp: 30, KindChange: 0.03, ZeroStore: 0.20},
+	{Name: "mcf", TargetRatio: 1.25, Flavor: PointerFlavor, FootprintPages: 6144,
+		HotFraction: 0.40, HotProb: 0.68, ZipfTheta: 0.3, SpatialRun: 1,
+		WriteFrac: 0.25, InstrPerOp: 9, KindChange: 0.04, ZeroStore: 0.05},
+	{Name: "milc", TargetRatio: 1.45, Flavor: FloatFlavor, FootprintPages: 3072,
+		HotFraction: 0.40, HotProb: 0.60, ZipfTheta: 0.3, SpatialRun: 20,
+		WriteFrac: 0.35, InstrPerOp: 10, KindChange: 0.10, ZeroStore: 0.08},
+	{Name: "zeusmp", TargetRatio: 2.1, Flavor: FloatFlavor, FootprintPages: 2048,
+		HotFraction: 0.30, HotProb: 0.70, ZipfTheta: 0.4, SpatialRun: 24,
+		WriteFrac: 0.40, InstrPerOp: 14, KindChange: 0.06, ZeroStore: 0.35},
+	{Name: "gromacs", TargetRatio: 1.6, Flavor: FloatFlavor, FootprintPages: 1024,
+		HotFraction: 0.15, HotProb: 0.85, ZipfTheta: 0.7, SpatialRun: 10,
+		WriteFrac: 0.30, InstrPerOp: 15, KindChange: 0.04, ZeroStore: 0.15},
+	{Name: "cactusADM", TargetRatio: 2.4, Flavor: FloatFlavor, FootprintPages: 2048,
+		HotFraction: 0.35, HotProb: 0.65, ZipfTheta: 0.4, SpatialRun: 26,
+		WriteFrac: 0.40, InstrPerOp: 14, KindChange: 0.10, ZeroStore: 0.40},
+	{Name: "leslie3d", TargetRatio: 1.8, Flavor: FloatFlavor, FootprintPages: 2048,
+		HotFraction: 0.40, HotProb: 0.65, ZipfTheta: 0.3, SpatialRun: 24,
+		WriteFrac: 0.35, InstrPerOp: 12, KindChange: 0.06, ZeroStore: 0.50},
+	{Name: "namd", TargetRatio: 1.4, Flavor: FloatFlavor, FootprintPages: 1024,
+		HotFraction: 0.20, HotProb: 0.85, ZipfTheta: 0.6, SpatialRun: 8,
+		WriteFrac: 0.25, InstrPerOp: 15, KindChange: 0.03, ZeroStore: 0.10},
+	{Name: "gobmk", TargetRatio: 1.5, Flavor: IntFlavor, FootprintPages: 768,
+		HotFraction: 0.15, HotProb: 0.88, ZipfTheta: 0.8, SpatialRun: 3,
+		WriteFrac: 0.30, InstrPerOp: 20, KindChange: 0.04, ZeroStore: 0.20},
+	{Name: "soplex", TargetRatio: 1.9, Flavor: FloatFlavor, FootprintPages: 2048,
+		HotFraction: 0.35, HotProb: 0.65, ZipfTheta: 0.4, SpatialRun: 14,
+		WriteFrac: 0.30, InstrPerOp: 10, KindChange: 0.05, ZeroStore: 0.40},
+	{Name: "povray", TargetRatio: 1.6, Flavor: FloatFlavor, FootprintPages: 512,
+		HotFraction: 0.05, HotProb: 0.95, ZipfTheta: 1.0, SpatialRun: 4,
+		WriteFrac: 0.25, InstrPerOp: 30, KindChange: 0.03, ZeroStore: 0.15},
+	{Name: "calculix", TargetRatio: 1.8, Flavor: FloatFlavor, FootprintPages: 1024,
+		HotFraction: 0.15, HotProb: 0.85, ZipfTheta: 0.7, SpatialRun: 12,
+		WriteFrac: 0.30, InstrPerOp: 15, KindChange: 0.04, ZeroStore: 0.25},
+	{Name: "hmmer", TargetRatio: 1.35, Flavor: IntFlavor, FootprintPages: 768,
+		HotFraction: 0.10, HotProb: 0.90, ZipfTheta: 0.9, SpatialRun: 10,
+		WriteFrac: 0.35, InstrPerOp: 12, KindChange: 0.03, ZeroStore: 0.05},
+	{Name: "sjeng", TargetRatio: 1.5, Flavor: IntFlavor, FootprintPages: 512,
+		HotFraction: 0.20, HotProb: 0.88, ZipfTheta: 0.8, SpatialRun: 1,
+		WriteFrac: 0.30, InstrPerOp: 25, KindChange: 0.04, ZeroStore: 0.15},
+	{Name: "GemsFDTD", TargetRatio: 2.3, Flavor: FloatFlavor, FootprintPages: 4096,
+		HotFraction: 0.45, HotProb: 0.60, ZipfTheta: 0.3, SpatialRun: 26,
+		WriteFrac: 0.40, InstrPerOp: 10, KindChange: 0.08, ZeroStore: 0.40,
+		Phases: []Phase{
+			{Frac: 0.35, KindChange: 0.03, ZeroStore: 0.85},
+			{Frac: 0.30, KindChange: 0.15, ZeroStore: 0.02, StoreKind: kindOnly(datagen.Random)},
+			{Frac: 0.35, KindChange: 0.06, ZeroStore: 0.60},
+		}},
+	{Name: "libquantum", TargetRatio: 2.6, Flavor: IntFlavor, FootprintPages: 2048,
+		HotFraction: 0.60, HotProb: 0.70, ZipfTheta: 0.2, SpatialRun: 32,
+		WriteFrac: 0.30, InstrPerOp: 10, KindChange: 0.02, ZeroStore: 0.40},
+	{Name: "h264ref", TargetRatio: 1.5, Flavor: MediaFlavor, FootprintPages: 768,
+		HotFraction: 0.15, HotProb: 0.88, ZipfTheta: 0.8, SpatialRun: 10,
+		WriteFrac: 0.35, InstrPerOp: 20, KindChange: 0.05, ZeroStore: 0.15},
+	{Name: "tonto", TargetRatio: 1.8, Flavor: FloatFlavor, FootprintPages: 1024,
+		HotFraction: 0.15, HotProb: 0.85, ZipfTheta: 0.7, SpatialRun: 10,
+		WriteFrac: 0.30, InstrPerOp: 15, KindChange: 0.04, ZeroStore: 0.25},
+	{Name: "lbm", TargetRatio: 1.3, Flavor: FloatFlavor, FootprintPages: 4096,
+		HotFraction: 0.60, HotProb: 0.60, ZipfTheta: 0.2, SpatialRun: 30,
+		WriteFrac: 0.45, InstrPerOp: 9, KindChange: 0.10, ZeroStore: 0.03},
+	{Name: "omnetpp", TargetRatio: 1.7, Flavor: PointerFlavor, FootprintPages: 3072,
+		HotFraction: 0.45, HotProb: 0.62, ZipfTheta: 0.3, SpatialRun: 1,
+		WriteFrac: 0.35, InstrPerOp: 10, KindChange: 0.05, ZeroStore: 0.25},
+	{Name: "astar", TargetRatio: 1.5, Flavor: PointerFlavor, FootprintPages: 1536,
+		HotFraction: 0.30, HotProb: 0.70, ZipfTheta: 0.5, SpatialRun: 2,
+		WriteFrac: 0.30, InstrPerOp: 14, KindChange: 0.05, ZeroStore: 0.15,
+		Phases: []Phase{
+			{Frac: 0.4, KindChange: 0.03, ZeroStore: 0.40},
+			{Frac: 0.3, KindChange: 0.10, ZeroStore: 0.05, StoreKind: kindOnly(datagen.Pointer)},
+			{Frac: 0.3, KindChange: 0.04, ZeroStore: 0.30},
+		}},
+	{Name: "sphinx3", TargetRatio: 1.6, Flavor: FloatFlavor, FootprintPages: 1536,
+		HotFraction: 0.25, HotProb: 0.78, ZipfTheta: 0.5, SpatialRun: 12,
+		WriteFrac: 0.20, InstrPerOp: 12, KindChange: 0.03, ZeroStore: 0.15},
+	{Name: "xalancbmk", TargetRatio: 2.0, Flavor: TextFlavor, FootprintPages: 2048,
+		HotFraction: 0.25, HotProb: 0.75, ZipfTheta: 0.5, SpatialRun: 4,
+		WriteFrac: 0.30, InstrPerOp: 14, KindChange: 0.04, ZeroStore: 0.35},
+	{Name: "Forestfire", TargetRatio: 2.6, Flavor: GraphFlavor, FootprintPages: 4096,
+		HotFraction: 0.60, HotProb: 0.50, ZipfTheta: 0.3, SpatialRun: 2,
+		WriteFrac: 0.25, InstrPerOp: 12, KindChange: 0.04, ZeroStore: 0.40},
+	{Name: "Pagerank", TargetRatio: 2.4, Flavor: GraphFlavor, FootprintPages: 4096,
+		HotFraction: 0.55, HotProb: 0.52, ZipfTheta: 0.3, SpatialRun: 3,
+		WriteFrac: 0.30, InstrPerOp: 12, KindChange: 0.03, ZeroStore: 0.35},
+	{Name: "Graph500", TargetRatio: 4.5, Flavor: GraphFlavor, FootprintPages: 6144,
+		HotFraction: 0.55, HotProb: 0.50, ZipfTheta: 0.3, SpatialRun: 2,
+		WriteFrac: 0.20, InstrPerOp: 12, KindChange: 0.03, ZeroStore: 0.55,
+		Phases: []Phase{
+			{Frac: 0.5, KindChange: 0.02, ZeroStore: 0.70},
+			{Frac: 0.5, KindChange: 0.05, ZeroStore: 0.30, StoreKind: kindOnly(datagen.Seq)},
+		}},
+}
+
+func kindOnly(k datagen.Kind) datagen.Mix {
+	var m datagen.Mix
+	m[k] = 1
+	return m
+}
+
+// All returns the full benchmark suite in the paper's Fig. 2 order.
+func All() []Profile {
+	out := make([]Profile, len(profiles))
+	copy(out, profiles)
+	return out
+}
+
+// Names returns the benchmark names in suite order.
+func Names() []string {
+	out := make([]string, len(profiles))
+	for i := range profiles {
+		out[i] = profiles[i].Name
+	}
+	return out
+}
+
+// ByName looks a profile up; it returns an error naming the closest
+// matches when absent.
+func ByName(name string) (Profile, error) {
+	for _, p := range profiles {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	names := Names()
+	sort.Strings(names)
+	return Profile{}, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, names)
+}
+
+// PerformanceSet returns the 29 benchmarks of the Fig. 10/11
+// performance evaluation: the full suite minus zeusmp, which the paper
+// includes only in the compression figures (2, 4, 6, 7, 12).
+func PerformanceSet() []Profile {
+	out := make([]Profile, 0, len(profiles)-1)
+	for _, p := range profiles {
+		if p.Name != "zeusmp" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package workload
+
+import (
+	"fmt"
+
+	"compresso/internal/compress"
+	"compresso/internal/datagen"
+	"compresso/internal/memctl"
+	"compresso/internal/rng"
+)
+
+// Image is a benchmark's OSPA memory contents: FootprintPages pages of
+// real line values, generated lazily and deterministically from the
+// profile's page-kind mix. It implements memctl.LineSource, and the
+// trace layer mutates it as the simulated program stores.
+type Image struct {
+	prof  Profile
+	seed  uint64
+	mix   datagen.Mix
+	noise datagen.Mix
+	cdf   [datagen.NKinds]float64
+	// scramble is an odd multiplier coprime to the footprint used to
+	// spread the stratified kind assignment across page indices (1
+	// when no coprime scramble exists).
+	scramble uint64
+	pages    map[uint64]datagen.Page
+}
+
+// NewImage builds the (lazy) image for a profile.
+func NewImage(prof Profile, seed uint64) *Image {
+	if err := prof.Validate(); err != nil {
+		panic(err)
+	}
+	mix := prof.PageMix()
+	// Intra-page noise draws from the non-zero part of the mix so
+	// zero pages stay truly zero-dominated.
+	noise := mix
+	noise[datagen.Zero] = 0
+	im := &Image{
+		prof:     prof,
+		seed:     seed,
+		mix:      mix,
+		noise:    noise,
+		scramble: 1,
+		pages:    make(map[uint64]datagen.Page),
+	}
+	norm := mix.Normalized()
+	acc := 0.0
+	for k := range norm {
+		acc += norm[k]
+		im.cdf[k] = acc
+	}
+	// Page kinds are assigned by stratified quota rather than iid
+	// sampling: the realized kind fractions then match the calibrated
+	// mix to within one page, which keeps high-zero-fraction profiles
+	// (Graph500, libquantum) from drifting far off their Fig. 2
+	// target. The scramble spreads each kind across the index space.
+	if g := gcd(2654435761, uint64(prof.FootprintPages)); g == 1 {
+		im.scramble = 2654435761
+	}
+	return im
+}
+
+func gcd(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// kindOf returns the stratified page kind for a page index.
+func (im *Image) kindOf(page uint64) datagen.Kind {
+	n := uint64(im.prof.FootprintPages)
+	idx := (page*im.scramble + nameHash(im.prof.Name)%n) % n
+	u := (float64(idx) + 0.5) / float64(n)
+	for k := range im.cdf {
+		if u <= im.cdf[k] {
+			return datagen.Kind(k)
+		}
+	}
+	return datagen.NKinds - 1
+}
+
+// nameHash is FNV-1a over the benchmark name.
+func nameHash(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// FootprintPages returns the image's page count.
+func (im *Image) FootprintPages() int { return im.prof.FootprintPages }
+
+// FootprintBytes returns the footprint in bytes.
+func (im *Image) FootprintBytes() int64 {
+	return int64(im.prof.FootprintPages) * memctl.PageSize
+}
+
+// Page returns (generating if necessary) the page's line values.
+// The returned slices are the live image: writes through them are
+// visible to subsequent reads.
+func (im *Image) Page(page uint64) datagen.Page {
+	if page >= uint64(im.prof.FootprintPages) {
+		panic(fmt.Sprintf("workload: page %d beyond footprint %d", page, im.prof.FootprintPages))
+	}
+	if p, ok := im.pages[page]; ok {
+		return p
+	}
+	// Mix the profile name into the per-page stream so that different
+	// benchmarks sharing a numeric seed draw independent page kinds
+	// (one shared stream would correlate their sampling error).
+	r := rng.New(im.seed ^ (page+1)*0x9e3779b97f4a7c15 ^ nameHash(im.prof.Name))
+	kind := im.kindOf(page)
+	var p datagen.Page
+	if kind == datagen.Zero {
+		// Zero pages stay all-zero (no noise): freshly allocated memory.
+		p = datagen.GeneratePage(r, kind, 0, im.noise)
+	} else {
+		p = datagen.GeneratePage(r, kind, 0.1, im.noise)
+	}
+	im.pages[page] = p
+	return p
+}
+
+// Line returns the live 64-byte value of an OSPA line.
+func (im *Image) Line(lineAddr uint64) []byte {
+	page, line := lineAddr/memctl.LinesPerPage, lineAddr%memctl.LinesPerPage
+	return im.Page(page)[line]
+}
+
+// ReadLine implements memctl.LineSource.
+func (im *Image) ReadLine(lineAddr uint64, buf []byte) {
+	copy(buf, im.Line(lineAddr))
+}
+
+// Lines returns the number of lines in the image.
+func (im *Image) Lines() uint64 {
+	return uint64(im.prof.FootprintPages) * memctl.LinesPerPage
+}
+
+// MeasureRatio computes the image's current compression ratio under
+// the given codec and bins (the Fig. 2 measurement), optionally
+// sampling every strideth page for speed.
+func (im *Image) MeasureRatio(codec compress.Codec, bins compress.Bins, stride int) float64 {
+	if stride < 1 {
+		stride = 1
+	}
+	total, count := 0, 0
+	for p := uint64(0); p < uint64(im.prof.FootprintPages); p += uint64(stride) {
+		for _, line := range im.Page(p) {
+			total += bins.Fit(compress.Size(codec, line))
+			count++
+		}
+	}
+	if total == 0 {
+		return float64(count * compress.LineSize)
+	}
+	return float64(count*compress.LineSize) / float64(total)
+}
+
+// InstallInto installs the whole image into a controller (simulation
+// warm start).
+func (im *Image) InstallInto(ctl memctl.Controller) {
+	for p := uint64(0); p < uint64(im.prof.FootprintPages); p++ {
+		ctl.InstallPage(p, im.Page(p))
+	}
+}

@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Trace files let a generated access stream be recorded once and
+// analyzed or replayed elsewhere (cmd/compresso-trace -record). The
+// format is deliberately simple and stable:
+//
+//	magic "CTRC" | version u8 | count u64 | records...
+//
+// Each record is varint-encoded: non-memory instruction count, a
+// zigzag line-address delta from the previous record, and a write
+// flag folded into the instruction count's low bit would complicate
+// tooling, so the flag is its own byte.
+
+const traceMagic = "CTRC"
+const traceVersion = 1
+
+// WriteOps writes ops to w in the trace file format.
+func WriteOps(w io.Writer, ops []Op) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(traceVersion); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(ops)))
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return err
+	}
+	var prev uint64
+	for _, op := range ops {
+		n = binary.PutUvarint(buf[:], uint64(op.NonMemInstrs))
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		delta := int64(op.LineAddr) - int64(prev)
+		prev = op.LineAddr
+		n = binary.PutVarint(buf[:], delta)
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		flag := byte(0)
+		if op.Write {
+			flag = 1
+		}
+		if err := bw.WriteByte(flag); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadOps parses a trace file written by WriteOps.
+func ReadOps(r io.Reader) ([]Op, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(traceMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("workload: reading trace magic: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("workload: bad trace magic %q", magic)
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading trace version: %w", err)
+	}
+	if ver != traceVersion {
+		return nil, fmt.Errorf("workload: unsupported trace version %d", ver)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading op count: %w", err)
+	}
+	const maxOps = 1 << 32
+	if count > maxOps {
+		return nil, fmt.Errorf("workload: implausible op count %d", count)
+	}
+	ops := make([]Op, 0, count)
+	var prev uint64
+	for i := uint64(0); i < count; i++ {
+		instrs, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("workload: op %d instrs: %w", i, err)
+		}
+		delta, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("workload: op %d addr: %w", i, err)
+		}
+		addr := uint64(int64(prev) + delta)
+		prev = addr
+		flag, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("workload: op %d flag: %w", i, err)
+		}
+		if flag > 1 {
+			return nil, fmt.Errorf("workload: op %d bad write flag %d", i, flag)
+		}
+		ops = append(ops, Op{
+			NonMemInstrs: int(instrs),
+			LineAddr:     addr,
+			Write:        flag == 1,
+		})
+	}
+	return ops, nil
+}
+
+// Record draws n operations from the trace into a slice (mutating the
+// image as usual), for writing with WriteOps.
+func (t *Trace) Record(n uint64) []Op {
+	ops := make([]Op, n)
+	for i := range ops {
+		t.Next(&ops[i])
+	}
+	return ops
+}

@@ -1,0 +1,353 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"compresso/internal/compress"
+	"compresso/internal/datagen"
+	"compresso/internal/memctl"
+	"compresso/internal/stats"
+)
+
+func TestAllProfilesValid(t *testing.T) {
+	if len(All()) != 30 {
+		t.Fatalf("suite has %d benchmarks, want 30", len(All()))
+	}
+	for _, p := range All() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestPerformanceSetExcludesZeusmp(t *testing.T) {
+	set := PerformanceSet()
+	if len(set) != 29 {
+		t.Fatalf("performance set has %d, want 29", len(set))
+	}
+	for _, p := range set {
+		if p.Name == "zeusmp" {
+			t.Fatal("zeusmp in performance set")
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("mcf")
+	if err != nil || p.Name != "mcf" {
+		t.Fatalf("ByName(mcf) = %v, %v", p.Name, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown benchmark did not error")
+	}
+}
+
+func TestProfileValidateCatchesBadFields(t *testing.T) {
+	good, _ := ByName("gcc")
+	muts := []func(*Profile){
+		func(p *Profile) { p.Name = "" },
+		func(p *Profile) { p.FootprintPages = 0 },
+		func(p *Profile) { p.TargetRatio = 0.5 },
+		func(p *Profile) { p.HotFraction = 0 },
+		func(p *Profile) { p.HotProb = 1.5 },
+		func(p *Profile) { p.WriteFrac = -0.1 },
+		func(p *Profile) { p.InstrPerOp = 0 },
+	}
+	for i, m := range muts {
+		p := good
+		m(&p)
+		if p.Validate() == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestImageDeterministic(t *testing.T) {
+	p, _ := ByName("gcc")
+	p.FootprintPages = 32
+	a, b := NewImage(p, 7), NewImage(p, 7)
+	for pg := uint64(0); pg < 32; pg++ {
+		pa, pb := a.Page(pg), b.Page(pg)
+		for i := range pa {
+			for j := range pa[i] {
+				if pa[i][j] != pb[i][j] {
+					t.Fatalf("page %d line %d differs across identically-seeded images", pg, i)
+				}
+			}
+		}
+	}
+}
+
+func TestImageSeedsDiffer(t *testing.T) {
+	p, _ := ByName("gcc")
+	p.FootprintPages = 8
+	a, b := NewImage(p, 1), NewImage(p, 2)
+	diff := false
+	for pg := uint64(0); pg < 8 && !diff; pg++ {
+		pa, pb := a.Page(pg), b.Page(pg)
+		for i := range pa {
+			for j := range pa[i] {
+				if pa[i][j] != pb[i][j] {
+					diff = true
+				}
+			}
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical images")
+	}
+}
+
+func TestImageBounds(t *testing.T) {
+	p, _ := ByName("gcc")
+	p.FootprintPages = 4
+	im := NewImage(p, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-footprint page access did not panic")
+		}
+	}()
+	im.Page(4)
+}
+
+// TestFig2Calibration is the load-bearing test for the whole
+// reproduction: each benchmark image's measured BPC+LinePack
+// compression ratio must land near its Fig. 2 target, and the suite
+// average must be near the paper's headline 1.85x (Compresso bins land
+// slightly differently; we calibrate on legacy bins per §II-C).
+func TestFig2Calibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep is slow")
+	}
+	var ratios []float64
+	for _, p := range All() {
+		scaled := p
+		if scaled.FootprintPages > 512 {
+			scaled.FootprintPages = 512 // sample; mix is iid across pages
+		}
+		im := NewImage(scaled, 42)
+		got := im.MeasureRatio(compress.BPC{}, compress.LegacyBins, 4)
+		ratios = append(ratios, got)
+		lo, hi := p.TargetRatio*0.8, p.TargetRatio*1.25
+		if got < lo || got > hi {
+			t.Errorf("%-12s ratio %.2f outside [%.2f, %.2f] (target %.2f)",
+				p.Name, got, lo, hi, p.TargetRatio)
+		} else {
+			t.Logf("%-12s ratio %.2f (target %.2f)", p.Name, got, p.TargetRatio)
+		}
+	}
+	avg := stats.Mean(ratios)
+	if math.Abs(avg-1.85) > 0.25 {
+		t.Errorf("suite average ratio %.3f, paper reports 1.85", avg)
+	} else {
+		t.Logf("suite average ratio %.3f (paper: 1.85)", avg)
+	}
+}
+
+func TestTraceDeterministic(t *testing.T) {
+	p, _ := ByName("astar")
+	p.FootprintPages = 64
+	a := NewTrace(p, 9, 1000)
+	b := NewTrace(p, 9, 1000)
+	var oa, ob Op
+	for i := 0; i < 1000; i++ {
+		a.Next(&oa)
+		b.Next(&ob)
+		if oa != ob {
+			t.Fatalf("op %d differs: %+v vs %+v", i, oa, ob)
+		}
+	}
+}
+
+func TestTraceAddressesInBounds(t *testing.T) {
+	p, _ := ByName("mcf")
+	p.FootprintPages = 128
+	tr := NewTrace(p, 3, 20000)
+	limit := tr.Image().Lines()
+	var op Op
+	for i := 0; i < 20000; i++ {
+		tr.Next(&op)
+		if op.LineAddr >= limit {
+			t.Fatalf("address %d beyond %d", op.LineAddr, limit)
+		}
+		if op.NonMemInstrs < 0 {
+			t.Fatalf("negative instr count")
+		}
+	}
+}
+
+func TestTraceWriteFraction(t *testing.T) {
+	p, _ := ByName("lbm") // WriteFrac 0.45
+	p.FootprintPages = 64
+	tr := NewTrace(p, 5, 40000)
+	writes := 0
+	var op Op
+	for i := 0; i < 40000; i++ {
+		tr.Next(&op)
+		if op.Write {
+			writes++
+		}
+	}
+	frac := float64(writes) / 40000
+	if math.Abs(frac-p.WriteFrac) > 0.02 {
+		t.Fatalf("write fraction %.3f, want ~%.2f", frac, p.WriteFrac)
+	}
+}
+
+func TestTraceLocalitySkew(t *testing.T) {
+	// A high-locality profile concentrates accesses; a low-locality
+	// one spreads them. Compare unique-page coverage.
+	coverage := func(name string) float64 {
+		p, _ := ByName(name)
+		p.FootprintPages = 256
+		tr := NewTrace(p, 11, 20000)
+		seen := map[uint64]bool{}
+		var op Op
+		for i := 0; i < 20000; i++ {
+			tr.Next(&op)
+			seen[op.LineAddr/memctl.LinesPerPage] = true
+		}
+		return float64(len(seen)) / 256
+	}
+	tight := coverage("povray") // 5% hot, 95% hot prob
+	wide := coverage("mcf")     // 50% hot, 55% hot prob
+	if tight >= wide {
+		t.Fatalf("povray coverage %.2f >= mcf coverage %.2f", tight, wide)
+	}
+}
+
+func TestTraceSpatialRuns(t *testing.T) {
+	sequentiality := func(name string) float64 {
+		p, _ := ByName(name)
+		p.FootprintPages = 256
+		tr := NewTrace(p, 13, 20000)
+		var op Op
+		var prev uint64
+		seq := 0
+		for i := 0; i < 20000; i++ {
+			tr.Next(&op)
+			if i > 0 && op.LineAddr == prev+1 {
+				seq++
+			}
+			prev = op.LineAddr
+		}
+		return float64(seq) / 20000
+	}
+	streaming := sequentiality("libquantum") // run 32
+	pointer := sequentiality("mcf")          // run 1
+	if streaming <= pointer+0.2 {
+		t.Fatalf("libquantum sequentiality %.2f not above mcf %.2f", streaming, pointer)
+	}
+}
+
+func TestStoresMutateImage(t *testing.T) {
+	p, _ := ByName("GemsFDTD")
+	p.FootprintPages = 64
+	tr := NewTrace(p, 17, 50000)
+	im := tr.Image()
+	// Snapshot a few lines, run the trace, verify some written line
+	// changed.
+	var op Op
+	changed := false
+	for i := 0; i < 50000 && !changed; i++ {
+		tr.Next(&op)
+		if op.Write {
+			// The mutation already happened; compare against a fresh
+			// identically-seeded image.
+			ref := NewImage(p, 17)
+			a := im.Line(op.LineAddr)
+			b := ref.Line(op.LineAddr)
+			for j := range a {
+				if a[j] != b[j] {
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	if !changed {
+		t.Fatal("50000 ops never mutated the image")
+	}
+}
+
+func TestPhasesChangeCompressibility(t *testing.T) {
+	// GemsFDTD's phases must produce measurably different image
+	// compressibility over time (the Fig. 9 phenomenon).
+	p, _ := ByName("GemsFDTD")
+	p.FootprintPages = 96
+	p.HotFraction = 0.9 // touch most pages so stores move the ratio
+	p.HotProb = 0.9
+	p.WriteFrac = 0.9
+	const total = 120000
+	tr := NewTrace(p, 19, total)
+	var ratios []float64
+	var op Op
+	for seg := 0; seg < 3; seg++ {
+		for i := 0; i < total/3; i++ {
+			tr.Next(&op)
+		}
+		ratios = append(ratios, tr.Image().MeasureRatio(compress.BPC{}, compress.LegacyBins, 1))
+	}
+	spread := stats.Percentile(ratios, 100) - stats.Percentile(ratios, 0)
+	if spread < 0.2 {
+		t.Fatalf("phase ratios %v too flat; phases not expressed", ratios)
+	}
+}
+
+func TestPhaseIndexProgression(t *testing.T) {
+	p, _ := ByName("GemsFDTD")
+	p.FootprintPages = 32
+	tr := NewTrace(p, 21, 3000)
+	var op Op
+	first := tr.PhaseIndex()
+	for i := 0; i < 3000; i++ {
+		tr.Next(&op)
+	}
+	last := tr.PhaseIndex()
+	if first != 0 || last != len(p.Phases)-1 {
+		t.Fatalf("phase progression %d -> %d, want 0 -> %d", first, last, len(p.Phases)-1)
+	}
+}
+
+func TestMixDistinctness(t *testing.T) {
+	// Flavors must actually differ in composition.
+	seen := map[datagen.Kind]bool{}
+	for _, f := range []Flavor{IntFlavor, FloatFlavor, PointerFlavor, TextFlavor, GraphFlavor, MediaFlavor} {
+		m := f.mix()
+		for k, w := range m {
+			if w > 0.3 {
+				seen[datagen.Kind(k)] = true
+			}
+		}
+	}
+	if len(seen) < 4 {
+		t.Fatalf("flavors too homogeneous: dominant kinds %v", seen)
+	}
+}
+
+func TestInstallInto(t *testing.T) {
+	p, _ := ByName("gamess")
+	p.FootprintPages = 16
+	im := NewImage(p, 23)
+	fake := &countingController{}
+	im.InstallInto(fake)
+	if fake.pages != 16 {
+		t.Fatalf("installed %d pages", fake.pages)
+	}
+}
+
+type countingController struct{ pages int }
+
+func (c *countingController) Name() string { return "fake" }
+func (c *countingController) ReadLine(now uint64, a uint64) memctl.Result {
+	return memctl.Result{}
+}
+func (c *countingController) WriteLine(now uint64, a uint64, d []byte) memctl.Result {
+	return memctl.Result{}
+}
+func (c *countingController) InstallPage(p uint64, lines [][]byte) { c.pages++ }
+func (c *countingController) ResetStats()                          {}
+func (c *countingController) Stats() memctl.Stats                  { return memctl.Stats{} }
+func (c *countingController) CompressedBytes() int64               { return 0 }
+func (c *countingController) InstalledBytes() int64                { return 0 }
