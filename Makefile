@@ -1,0 +1,28 @@
+# Verification gauntlet for the Compresso reproduction. `make check`
+# is the gate a change must pass before merging (see README).
+
+GO ?= go
+
+.PHONY: check vet build test race fuzz
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The controller and simulator are the timing-critical packages; run
+# them under the race detector even though the simulator itself is
+# single-goroutine (tests may parallelize).
+race:
+	$(GO) test -race ./internal/core/... ./internal/sim/...
+
+# Longer fuzz of the controller invariants (the default corpus runs
+# as part of `test`).
+fuzz:
+	$(GO) test ./internal/core/ -run '^$$' -fuzz FuzzControllerReadWrite -fuzztime 60s

@@ -14,8 +14,11 @@ import (
 	"fmt"
 	"os"
 
+	"compresso/internal/audit"
 	"compresso/internal/capacity"
 	"compresso/internal/experiments"
+	"compresso/internal/faults"
+	"compresso/internal/memctl"
 	"compresso/internal/sim"
 	"compresso/internal/stats"
 	"compresso/internal/workload"
@@ -34,6 +37,8 @@ func main() {
 		ops     = flag.Uint64("ops", 200_000, "trace operations for -bench")
 		scale   = flag.Int("scale", 4, "footprint divisor for -bench")
 		compare = flag.Bool("compare", false, "with -bench: run all four systems and compare")
+		inject  = flag.String("inject", "", "fault-injection spec, e.g. bitflip:1e-6,mdmiss:1e-4 (sites: bitflip, metaflip, chunkdrop, chunkdup, mdmiss, tracetrunc)")
+		auditEv = flag.Uint64("audit-every", 0, "run a repairing state audit every N demand ops (0 disables)")
 	)
 	flag.Parse()
 
@@ -45,10 +50,10 @@ func main() {
 		}
 		tbl.Render(os.Stdout)
 	case *exp == "all":
-		for _, e := range experiments.List() {
-			if err := e.Run(experiments.Options{Out: os.Stdout, Quick: *quick, Seed: *seed}); err != nil {
-				fatal(err)
-			}
+		// RunAll recovers from per-experiment panics so one broken
+		// artifact does not kill the batch.
+		if err := experiments.RunAll(experiments.Options{Out: os.Stdout, Quick: *quick, Seed: *seed}); err != nil {
+			fatal(err)
 		}
 	case *exp != "":
 		if err := experiments.Run(*exp, experiments.Options{Out: os.Stdout, Quick: *quick, Seed: *seed}); err != nil {
@@ -57,9 +62,13 @@ func main() {
 	case *bench != "" && *capFrac > 0:
 		runCapacity(*bench, *capFrac, *ops, *scale, *seed)
 	case *bench != "":
-		runBench(*bench, *system, *ops, *scale, *seed, *compare)
+		runBench(*bench, *system, *ops, *scale, *seed, *compare, *inject, *auditEv)
 	case *mix != "":
-		runMixCLI(*mix, *ops, *scale, *seed)
+		runMixCLI(*mix, *ops, *scale, *seed, *inject, *auditEv)
+	case *inject != "" || *auditEv > 0:
+		// Robustness demo: injection/auditing flags alone run the
+		// default benchmark on the Compresso system.
+		runBench("gcc", "compresso", *ops, *scale, *seed, false, *inject, *auditEv)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -100,7 +109,31 @@ func runCapacity(bench string, frac float64, ops uint64, scale int, seed uint64)
 	tbl.Render(os.Stdout)
 }
 
-func runMixCLI(name string, ops uint64, scale int, seed uint64) {
+// robustify applies the -inject / -audit-every flags to a sim config.
+func robustify(cfg *sim.Config, spec string, auditEvery uint64) {
+	fc, err := faults.ParseSpec(spec, cfg.Seed)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Inject = fc
+	cfg.AuditEvery = auditEvery
+}
+
+// printRobustness reports what the injector and auditor did, when
+// either was active.
+func printRobustness(mem memctl.Stats, totals faults.Totals, outcome audit.Outcome) {
+	if summary := mem.CorruptionSummary(); summary != "" {
+		fmt.Println("robustness:", summary)
+	}
+	if totals.Injected() > 0 || totals.DRAMReads+totals.DRAMWrites > 0 {
+		fmt.Println("injector:", totals.String())
+	}
+	if outcome.Runs > 0 {
+		fmt.Println("auditor:", outcome.String())
+	}
+}
+
+func runMixCLI(name string, ops uint64, scale int, seed uint64, inject string, auditEvery uint64) {
 	var mix *sim.Mix
 	for _, m := range sim.Mixes() {
 		if m.Name == name {
@@ -119,12 +152,15 @@ func runMixCLI(name string, ops uint64, scale int, seed uint64) {
 	fmt.Printf("mix %s: %v\n", mix.Name, mix.Benches)
 	tbl := stats.NewTable("system", "weighted-speedup", "ratio", "extra-accesses")
 	var base sim.MultiResult
+	var last sim.MultiResult
 	for _, s := range sim.Systems() {
 		cfg := sim.DefaultConfig(s)
 		cfg.Ops = ops
 		cfg.FootprintScale = scale
 		cfg.Seed = seed
+		robustify(&cfg, inject, auditEvery)
 		res := sim.RunMix(mix.Name, profs, cfg)
+		last = res
 		if s == sim.Uncompressed {
 			base = res
 			tbl.AddRow(res.System, 1.0, res.Ratio, res.Mem.RelativeExtra())
@@ -133,9 +169,10 @@ func runMixCLI(name string, ops uint64, scale int, seed uint64) {
 		tbl.AddRow(res.System, res.WeightedSpeedup(base), res.Ratio, res.Mem.RelativeExtra())
 	}
 	tbl.Render(os.Stdout)
+	printRobustness(last.Mem, last.Faults, last.Audit)
 }
 
-func runBench(bench, system string, ops uint64, scale int, seed uint64, compare bool) {
+func runBench(bench, system string, ops uint64, scale int, seed uint64, compare bool, inject string, auditEvery uint64) {
 	prof, err := workload.ByName(bench)
 	if err != nil {
 		fatal(err)
@@ -150,12 +187,15 @@ func runBench(bench, system string, ops uint64, scale int, seed uint64, compare 
 	}
 	tbl := stats.NewTable("system", "cycles", "ipc", "ratio", "extra-accesses", "l3-miss", "md-hit")
 	var base uint64
+	var last sim.Result
 	for _, s := range systems {
 		cfg := sim.DefaultConfig(s)
 		cfg.Ops = ops
 		cfg.FootprintScale = scale
 		cfg.Seed = seed
+		robustify(&cfg, inject, auditEvery)
 		res := sim.RunSingle(prof, cfg)
+		last = res
 		if s == sim.Uncompressed {
 			base = res.Cycles
 		}
@@ -166,4 +206,5 @@ func runBench(bench, system string, ops uint64, scale int, seed uint64, compare 
 	fmt.Printf("benchmark %s (%d pages footprint / scale %d, %d ops)\n",
 		prof.Name, prof.FootprintPages, scale, ops)
 	tbl.Render(os.Stdout)
+	printRobustness(last.Mem, last.Faults, last.Audit)
 }

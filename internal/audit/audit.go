@@ -1,0 +1,239 @@
+// Package audit defines the state-auditing contract for the Compresso
+// controller stack: structured invariant-violation reports, the
+// Auditable interface compressed controllers implement, and a Runner
+// that triggers audits on a fixed demand-access cadence.
+//
+// The auditor exists because the whole value proposition of main
+// memory compression rests on the controller never corrupting data
+// while it relocates lines, repacks pages and balloons under pressure.
+// Rather than panicking on drift (which turns an injected single-bit
+// fault into a dead simulator), audits return Reports; the controller
+// repairs what it can from the authoritative data and degrades to an
+// uncompressed layout when it cannot.
+package audit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Scope selects how deep an audit digs.
+type Scope int
+
+const (
+	// Structural cross-checks the controller's bookkeeping: allocator
+	// occupancy vs per-page allocations, metadata entries vs their
+	// shadow state, packed backing round-trips, known-corrupt lines.
+	// Cheap enough to run every few thousand accesses.
+	Structural Scope = iota
+	// Full additionally round-trips every stored line through the
+	// codec against the authoritative LineSource. Only meaningful when
+	// no dirty lines are outstanding above the controller (unit and
+	// fuzz tests; the cycle simulator's caches hold newer data).
+	Full
+)
+
+// String names the scope.
+func (s Scope) String() string {
+	if s == Full {
+		return "full"
+	}
+	return "structural"
+}
+
+// Kind classifies one invariant violation.
+type Kind int
+
+const (
+	// AllocMismatch: a page's metadata entry disagrees with the
+	// controller's authoritative per-page allocation count.
+	AllocMismatch Kind = iota
+	// ChunkLeak: the allocator holds a chunk no page owns.
+	ChunkLeak
+	// ChunkPhantom: a page references a chunk the allocator considers
+	// free (a double-free or torn allocation).
+	ChunkPhantom
+	// ChunkConflict: one chunk is referenced twice (within or across
+	// pages).
+	ChunkConflict
+	// SizeShadow: a line's recorded slot code disagrees with the
+	// exact compressed-size shadow in an impossible direction.
+	SizeShadow
+	// FreeSpaceDrift: the entry's FreeSpace field differs from the
+	// recomputed reclaimable-byte count.
+	FreeSpaceDrift
+	// InflatedBad: the inflation-room pointer list is malformed or
+	// overruns the page's allocation.
+	InflatedBad
+	// BackingMismatch: the packed 64-byte backing image no longer
+	// round-trips the live entry of a clean page.
+	BackingMismatch
+	// DataCorruption: a stored line no longer matches the
+	// authoritative LineSource image.
+	DataCorruption
+	// ValidCountDrift: the controller's valid-page counter disagrees
+	// with a scan.
+	ValidCountDrift
+)
+
+var kindNames = map[Kind]string{
+	AllocMismatch:   "alloc-mismatch",
+	ChunkLeak:       "chunk-leak",
+	ChunkPhantom:    "chunk-phantom",
+	ChunkConflict:   "chunk-conflict",
+	SizeShadow:      "size-shadow",
+	FreeSpaceDrift:  "free-space-drift",
+	InflatedBad:     "inflated-bad",
+	BackingMismatch: "backing-mismatch",
+	DataCorruption:  "data-corruption",
+	ValidCountDrift: "valid-count-drift",
+}
+
+// String names the kind.
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// NoPage marks a violation not attributable to one OSPA page.
+const NoPage = ^uint64(0)
+
+// Violation is one detected invariant breach.
+type Violation struct {
+	Kind   Kind
+	Page   uint64 // NoPage for global violations
+	Detail string
+	// Repaired reports whether the audit's repair pass resolved it.
+	Repaired bool
+}
+
+// String renders the violation for logs.
+func (v Violation) String() string {
+	where := "global"
+	if v.Page != NoPage {
+		where = fmt.Sprintf("page %d", v.Page)
+	}
+	state := ""
+	if v.Repaired {
+		state = " [repaired]"
+	}
+	return fmt.Sprintf("%s @ %s: %s%s", v.Kind, where, v.Detail, state)
+}
+
+// Report is one audit's outcome.
+type Report struct {
+	Scope Scope
+	// Ops is the controller's demand-access count when the audit ran.
+	Ops uint64
+	// Pages is the number of OSPA pages scanned.
+	Pages      int
+	Violations []Violation
+}
+
+// OK reports a clean audit.
+func (r Report) OK() bool { return len(r.Violations) == 0 }
+
+// Repaired counts violations the repair pass resolved.
+func (r Report) Repaired() int {
+	n := 0
+	for _, v := range r.Violations {
+		if v.Repaired {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders a compact summary plus the first few violations.
+func (r Report) String() string {
+	if r.OK() {
+		return fmt.Sprintf("audit(%s) @ %d ops: clean (%d pages)", r.Scope, r.Ops, r.Pages)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "audit(%s) @ %d ops: %d violations (%d repaired)",
+		r.Scope, r.Ops, len(r.Violations), r.Repaired())
+	for i, v := range r.Violations {
+		if i == 8 {
+			fmt.Fprintf(&b, "\n  ... %d more", len(r.Violations)-i)
+			break
+		}
+		fmt.Fprintf(&b, "\n  %s", v.String())
+	}
+	return b.String()
+}
+
+// Auditable is implemented by controllers that can cross-check and
+// repair their own state. With repair set, detected corruption is
+// fixed in place (pages rebuilt from the authoritative data, leaked
+// chunks released) and the returned violations are marked Repaired.
+type Auditable interface {
+	Audit(scope Scope, repair bool) Report
+}
+
+// Outcome accumulates a run's audit activity (reported in sim results).
+type Outcome struct {
+	Runs       uint64
+	Violations uint64
+	Repaired   uint64
+}
+
+// String renders the outcome.
+func (o Outcome) String() string {
+	return fmt.Sprintf("%d audits: %d violations, %d repaired", o.Runs, o.Violations, o.Repaired)
+}
+
+// Runner triggers repairing structural audits every fixed number of
+// demand operations, accumulating an Outcome and keeping the first
+// few non-clean reports for diagnosis.
+type Runner struct {
+	target Auditable
+	every  uint64
+	since  uint64
+
+	outcome Outcome
+	// Dirty holds the first non-clean reports (bounded).
+	Dirty []Report
+}
+
+// maxDirtyReports bounds the retained non-clean reports.
+const maxDirtyReports = 16
+
+// NewRunner builds a runner auditing target every `every` operations.
+func NewRunner(target Auditable, every uint64) *Runner {
+	if every == 0 {
+		every = 1
+	}
+	return &Runner{target: target, every: every}
+}
+
+// Tick advances one demand operation, auditing (with repair) when due.
+func (r *Runner) Tick() {
+	r.since++
+	if r.since < r.every {
+		return
+	}
+	r.since = 0
+	r.note(r.target.Audit(Structural, true))
+}
+
+// Final runs the end-of-run audit at the given scope (with repair) and
+// returns its report.
+func (r *Runner) Final(scope Scope) Report {
+	rep := r.target.Audit(scope, true)
+	r.note(rep)
+	return rep
+}
+
+func (r *Runner) note(rep Report) {
+	r.outcome.Runs++
+	r.outcome.Violations += uint64(len(rep.Violations))
+	r.outcome.Repaired += uint64(rep.Repaired())
+	if !rep.OK() && len(r.Dirty) < maxDirtyReports {
+		r.Dirty = append(r.Dirty, rep)
+	}
+}
+
+// Outcome returns the accumulated tallies.
+func (r *Runner) Outcome() Outcome { return r.outcome }

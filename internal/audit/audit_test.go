@@ -1,0 +1,121 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+)
+
+// fakeTarget counts audits and serves a scripted report per call.
+type fakeTarget struct {
+	calls   []Scope
+	repairs []bool
+	reports []Report
+}
+
+func (f *fakeTarget) Audit(scope Scope, repair bool) Report {
+	f.calls = append(f.calls, scope)
+	f.repairs = append(f.repairs, repair)
+	if len(f.reports) == 0 {
+		return Report{Scope: scope}
+	}
+	rep := f.reports[0]
+	f.reports = f.reports[1:]
+	rep.Scope = scope
+	return rep
+}
+
+func TestRunnerCadence(t *testing.T) {
+	ft := &fakeTarget{}
+	r := NewRunner(ft, 100)
+	for i := 0; i < 1000; i++ {
+		r.Tick()
+	}
+	if len(ft.calls) != 10 {
+		t.Fatalf("%d audits over 1000 ticks at every=100", len(ft.calls))
+	}
+	for i, s := range ft.calls {
+		if s != Structural || !ft.repairs[i] {
+			t.Fatalf("tick audit %d: scope %v repair %v", i, s, ft.repairs[i])
+		}
+	}
+	r.Final(Full)
+	if got := ft.calls[len(ft.calls)-1]; got != Full {
+		t.Fatalf("final audit scope %v", got)
+	}
+	if out := r.Outcome(); out.Runs != 11 || out.Violations != 0 {
+		t.Fatalf("outcome %+v", out)
+	}
+}
+
+func TestRunnerZeroEveryAuditsEachOp(t *testing.T) {
+	ft := &fakeTarget{}
+	r := NewRunner(ft, 0)
+	for i := 0; i < 5; i++ {
+		r.Tick()
+	}
+	if len(ft.calls) != 5 {
+		t.Fatalf("%d audits, want one per tick", len(ft.calls))
+	}
+}
+
+func TestRunnerAccumulatesAndBoundsDirty(t *testing.T) {
+	ft := &fakeTarget{}
+	bad := Report{Violations: []Violation{
+		{Kind: ChunkLeak, Page: NoPage, Detail: "x", Repaired: true},
+		{Kind: SizeShadow, Page: 3, Detail: "y"},
+	}}
+	for i := 0; i < maxDirtyReports+5; i++ {
+		ft.reports = append(ft.reports, bad)
+	}
+	r := NewRunner(ft, 1)
+	for i := 0; i < maxDirtyReports+5; i++ {
+		r.Tick()
+	}
+	out := r.Outcome()
+	want := uint64(maxDirtyReports + 5)
+	if out.Runs != want || out.Violations != 2*want || out.Repaired != want {
+		t.Fatalf("outcome %+v", out)
+	}
+	if len(r.Dirty) != maxDirtyReports {
+		t.Fatalf("retained %d dirty reports, want cap %d", len(r.Dirty), maxDirtyReports)
+	}
+}
+
+func TestReportStrings(t *testing.T) {
+	clean := Report{Scope: Full, Ops: 42, Pages: 7}
+	if !clean.OK() || !strings.Contains(clean.String(), "clean") {
+		t.Fatalf("clean report: %q", clean.String())
+	}
+	dirty := Report{Violations: []Violation{
+		{Kind: DataCorruption, Page: 9, Detail: "line 3 diverged", Repaired: true},
+		{Kind: ValidCountDrift, Page: NoPage, Detail: "off by one"},
+	}}
+	s := dirty.String()
+	for _, want := range []string{"2 violations", "1 repaired", "data-corruption @ page 9", "[repaired]", "valid-count-drift @ global"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report %q missing %q", s, want)
+		}
+	}
+	// Long reports truncate.
+	var many Report
+	for i := 0; i < 12; i++ {
+		many.Violations = append(many.Violations, Violation{Kind: ChunkLeak, Page: NoPage})
+	}
+	if !strings.Contains(many.String(), "... 4 more") {
+		t.Fatalf("no truncation: %q", many.String())
+	}
+}
+
+func TestKindAndScopeNames(t *testing.T) {
+	if Structural.String() != "structural" || Full.String() != "full" {
+		t.Fatal("scope names")
+	}
+	for k := AllocMismatch; k <= ValidCountDrift; k++ {
+		if strings.HasPrefix(k.String(), "Kind(") {
+			t.Fatalf("kind %d unnamed", k)
+		}
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Fatal("unknown kind")
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"compresso/internal/compress"
 	"compresso/internal/dram"
+	"compresso/internal/faults"
 	"compresso/internal/memctl"
 	"compresso/internal/metadata"
 	"compresso/internal/mpa"
@@ -54,6 +55,13 @@ type Controller struct {
 	pinned    uint64
 	hasPinned bool
 
+	// inj is the fault injector (nil disables injection entirely).
+	inj *faults.Injector
+	// corrupt marks OSPA lines whose stored compressed bits were hit
+	// by an injected flip: the stored copy no longer matches the
+	// authoritative LineSource until a writeback or repair replaces it.
+	corrupt map[uint64]struct{}
+
 	chunkBaseLine uint64
 	lineBuf       [memctl.LineBytes]byte
 	compBuf       [memctl.LineBytes]byte
@@ -77,6 +85,10 @@ func New(cfg Config, mem *dram.Memory, source memctl.LineSource) *Controller {
 		pages:         make([]pageState, cfg.OSPAPages),
 		mdc:           metadata.NewCache(cfg.MetadataCache),
 		chunkBaseLine: uint64(cfg.OSPAPages), // metadata occupies one line per page
+		inj:           cfg.Faults,
+	}
+	if c.inj.Enabled() {
+		c.corrupt = make(map[uint64]struct{})
 	}
 	if cfg.Bins.CodeBits() <= 2 {
 		c.backing = make([]byte, int64(cfg.OSPAPages)*metadata.EntrySize)
@@ -268,12 +280,31 @@ func (c *Controller) resizePage(ps *pageState, newChunks int) {
 	switch c.cfg.Allocation {
 	case FixedChunks:
 		for cur < newChunks {
+			if c.inj.Roll(faults.ChunkDrop) {
+				// Torn allocation: the allocator hands out a chunk the
+				// page never records. The audit's occupancy cross-check
+				// finds and releases the leak.
+				c.stats.InjectedFaults++
+				if _, ok := c.chunks.Alloc(); !ok {
+					// Exhausted memory cannot leak further.
+					c.stats.InjectedFaults--
+				}
+			}
+			if cur > 0 && c.inj.Roll(faults.ChunkDup) {
+				// Metadata-update glitch: the new slot records the
+				// previous chunk pointer instead of a fresh allocation,
+				// double-referencing one chunk.
+				c.stats.InjectedFaults++
+				ps.meta.MPFN[cur] = ps.meta.MPFN[cur-1]
+				cur++
+				continue
+			}
 			ps.meta.MPFN[cur] = c.allocChunk()
 			cur++
 		}
 		for cur > newChunks {
 			cur--
-			c.chunks.Free(ps.meta.MPFN[cur])
+			c.freeChunk(ps.meta.MPFN[cur])
 			ps.meta.MPFN[cur] = 0
 		}
 	case VariableChunks:
@@ -314,12 +345,21 @@ func (c *Controller) resizePage(ps *pageState, newChunks int) {
 // lookupMetadata returns the cache line for page and the core cycle at
 // which translation data is available.
 func (c *Controller) lookupMetadata(now uint64, page uint64) (*metadata.Line, uint64) {
+	if c.inj.Roll(faults.MDCacheMiss) {
+		// Injected invalidation glitch: the resident entry is lost and
+		// refetched; dirty entries still write back (traffic, not state).
+		if ev, ok := c.mdc.ForcedMiss(page); ok {
+			c.stats.InjectedFaults++
+			c.stats.ForcedMDMisses++
+			c.handleEvictions(now, []metadata.Evicted{ev})
+		}
+	}
 	if l, ok := c.mdc.Lookup(page); ok {
 		return l, now + c.cfg.MetadataHitLatency
 	}
 	c.stats.MetadataReads++
 	done := c.mem.Access(now, c.mdMachineLine(page), false)
-	c.loadBacking(page)
+	c.loadBacking(now, page)
 	ps := &c.pages[page]
 	half := ps.meta.Valid && !ps.meta.Compressed
 	// Zero and invalid pages need only the control word, so they cache
@@ -357,14 +397,28 @@ func (c *Controller) handleEvictions(now uint64, evicted []metadata.Evicted) {
 }
 
 // loadBacking round-trips the entry through its packed 64-byte form,
-// exercising the architectural format on every metadata miss.
-func (c *Controller) loadBacking(page uint64) {
+// exercising the architectural format on every metadata miss. A
+// backing image that no longer decodes (or that contradicts the
+// controller's authoritative allocation state) is treated as detected
+// corruption: the page is rebuilt from the data rather than crashing
+// the simulator (the paper's data-is-authoritative recovery).
+func (c *Controller) loadBacking(now uint64, page uint64) {
 	if c.backing == nil {
 		return
 	}
 	e, err := metadata.Unpack(c.backing[page*metadata.EntrySize:])
 	if err != nil {
-		panic(fmt.Sprintf("core: corrupt metadata backing for page %d: %v", page, err))
+		c.stats.CorruptionsDetected++
+		c.repairPage(now, page, false)
+		return
+	}
+	if c.inj.Enabled() && !c.entryAdoptable(&c.pages[page], &e) {
+		// The entry decodes but contradicts the allocation bookkeeping
+		// (wrong chunk list, impossible layout): adopting it could walk
+		// the controller off its own allocation. Rebuild instead.
+		c.stats.CorruptionsDetected++
+		c.repairPage(now, page, false)
+		return
 	}
 	c.pages[page].meta = e
 }
@@ -374,6 +428,10 @@ func (c *Controller) storeBacking(page uint64) {
 		return
 	}
 	c.pages[page].meta.Pack(c.backing[page*metadata.EntrySize:])
+	if c.inj.Roll(faults.MetaBitFlip) {
+		c.stats.InjectedFaults++
+		c.inj.FlipBit(c.backing[page*metadata.EntrySize : (page+1)*metadata.EntrySize])
+	}
 }
 
 // --- data access helpers ----------------------------------------------
@@ -513,6 +571,13 @@ func (c *Controller) WriteLine(now uint64, lineAddr uint64, data []byte) memctl.
 	if !ps.meta.Valid {
 		ps = c.firstTouch(page, l)
 	}
+	if _, bad := c.corrupt[lineAddr]; bad {
+		// The writeback carries the line's current value, so it either
+		// replaces the corrupt stored copy or retires the slot entirely
+		// (zero lines are served from metadata).
+		delete(c.corrupt, lineAddr)
+		c.stats.CorruptionsHealed++
+	}
 	newCode := c.compressCode(data)
 	oldActual := ps.actual[line]
 
@@ -532,7 +597,30 @@ func (c *Controller) WriteLine(now uint64, lineAddr uint64, data []byte) memctl.
 	default:
 		c.writeCompressed(now, mdDone, ps, l, page, line, newCode, oldActual)
 	}
+	if c.lineStoresBytes(ps, line) && c.inj.Roll(faults.DataBitFlip) {
+		// The burst that stored this writeback took a bit flip: the
+		// stored copy no longer matches the authoritative source until
+		// the next writeback or an audit repair replaces it.
+		c.stats.InjectedFaults++
+		c.corrupt[lineAddr] = struct{}{}
+	}
 	return memctl.Result{Done: now}
+}
+
+// lineStoresBytes reports whether the line currently occupies stored
+// machine bytes (false for zero pages and zero-slot compressed lines,
+// which are served from metadata alone).
+func (c *Controller) lineStoresBytes(ps *pageState, line int) bool {
+	if !ps.meta.Valid || ps.meta.Zero {
+		return false
+	}
+	if !ps.meta.Compressed {
+		return true
+	}
+	if _, ok := ps.meta.IsInflated(line); ok {
+		return true
+	}
+	return c.cfg.Bins.SizeOf(int(ps.actual[line])) > 0
 }
 
 func (c *Controller) noteUnderOverflow(l *metadata.Line, oldCode, newCode uint8) {
@@ -727,6 +815,7 @@ func (c *Controller) Discard(page uint64) {
 	c.mdc.Drop(page)
 	c.storeBacking(page)
 	c.validPages--
+	c.clearCorrupt(page)
 }
 
 // FreeMachineChunks reports the allocator's free chunk count (the

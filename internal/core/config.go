@@ -9,6 +9,7 @@ package core
 
 import (
 	"compresso/internal/compress"
+	"compresso/internal/faults"
 	"compresso/internal/metadata"
 )
 
@@ -77,6 +78,11 @@ type Config struct {
 	// fails; it should free machine memory (the §V-B ballooning path)
 	// and report whether it did. Unset, allocation failure panics.
 	OnMemoryPressure func(needChunks int) bool
+
+	// Faults, when set, injects bit flips, allocator mistakes and
+	// forced metadata misses into the controller (internal/faults).
+	// Nil disables injection; the demand path is then unchanged.
+	Faults *faults.Injector
 }
 
 // DefaultConfig returns the paper's Compresso configuration for a

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"compresso/internal/audit"
+	"compresso/internal/datagen"
+	"compresso/internal/dram"
+	"compresso/internal/metadata"
+	"compresso/internal/rng"
+)
+
+// fuzzConfig shrinks the controller enough that the fuzzer exercises
+// metadata-cache evictions, page growth, overflow and repacking within
+// a few dozen operations: 32 OSPA pages against a 1 KB 2-way metadata
+// cache (8 sets).
+func fuzzConfig(cfg *Config) {
+	cfg.MetadataCache.SizeBytes = 1 << 10
+	cfg.MetadataCache.Ways = 2
+}
+
+const fuzzPages = 32
+
+// FuzzControllerReadWrite drives the controller with an arbitrary
+// byte-string of operations and runs a Full repairless audit after
+// every one: any violation means an internal invariant broke on a
+// clean (injection-free) path, which is a bug regardless of the
+// operation mix that produced it.
+func FuzzControllerReadWrite(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add([]byte{0x10, 0x32, 0x54, 0x76, 0x98, 0xba, 0xdc, 0xfe})
+	// Hammer one page with writes of shifting compressibility (grow,
+	// overflow, repack), interleaved with reads and a discard.
+	seq := make([]byte, 0, 96)
+	for i := 0; i < 24; i++ {
+		seq = append(seq, 0x01, byte(i), byte(i*7), 0x00)
+	}
+	seq = append(seq, 0x03, 0x00)
+	f.Add(seq)
+	// Spray across all pages to force metadata-cache evictions.
+	spray := make([]byte, 0, 128)
+	for i := 0; i < 64; i++ {
+		spray = append(spray, byte(i<<2)|0x01, byte(i*5))
+	}
+	f.Add(spray)
+
+	f.Fuzz(func(t *testing.T, program []byte) {
+		if len(program) > 512 {
+			program = program[:512]
+		}
+		im := newImage()
+		cfg := DefaultConfig(fuzzPages, 1<<19)
+		fuzzConfig(&cfg)
+		c := New(cfg, dram.New(dram.DDR4_2666()), im)
+
+		r := rng.New(99)
+		var now uint64
+		for pc := 0; pc < len(program); {
+			op := program[pc]
+			pc++
+			arg := func() byte {
+				if pc < len(program) {
+					b := program[pc]
+					pc++
+					return b
+				}
+				return 0
+			}
+			lineAddr := uint64(arg()) % (fuzzPages * metadata.LinesPerPage)
+			page := lineAddr / metadata.LinesPerPage
+			switch op & 0x3 {
+			case 0: // read
+				c.ReadLine(now, lineAddr)
+			case 1: // write generated data; kind steered by the next byte
+				kind := datagen.Kind(arg()) % datagen.NKinds
+				write(c, im, now, lineAddr, datagen.Line(r, kind))
+			case 2: // write zeros (zero-page and underflow transitions)
+				write(c, im, now, lineAddr, make([]byte, 64))
+			case 3: // discard the page; the authoritative source reads zero
+				c.Discard(page)
+				base := page * metadata.LinesPerPage
+				for i := uint64(0); i < metadata.LinesPerPage; i++ {
+					delete(im.lines, base+i)
+				}
+			}
+			now += 100
+
+			rep := c.Audit(audit.Full, false)
+			if !rep.OK() {
+				t.Fatalf("op %d (byte %#x): audit found %d violations:\n%s",
+					pc, op, len(rep.Violations), rep)
+			}
+		}
+	})
+}

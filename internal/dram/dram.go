@@ -71,6 +71,9 @@ type Memory struct {
 	busFree  []uint64 // per channel, core cycle when data bus frees
 	stats    Stats
 	linesRow int // lines per row
+	// onAccess, when set, observes every access (the fault-injection
+	// exposure hook); it must not mutate memory state.
+	onAccess func(lineAddr uint64, write bool)
 }
 
 // New constructs a memory subsystem from cfg.
@@ -95,6 +98,10 @@ func New(cfg Config) *Memory {
 
 // Stats returns a copy of the accumulated counters.
 func (m *Memory) Stats() Stats { return m.stats }
+
+// SetOnAccess installs an access observer (nil to remove). The fault
+// injector uses it to read its rates against real DRAM traffic.
+func (m *Memory) SetOnAccess(f func(lineAddr uint64, write bool)) { m.onAccess = f }
 
 // ResetStats zeroes the counters without touching bank state.
 func (m *Memory) ResetStats() { m.stats = Stats{} }
@@ -121,6 +128,9 @@ func (m *Memory) mapAddr(lineAddr uint64) (ch, bk int, row int64) {
 // the caller decides whether to wait on the returned time (reads on the
 // critical path do, posted writebacks do not).
 func (m *Memory) Access(now uint64, lineAddr uint64, write bool) uint64 {
+	if m.onAccess != nil {
+		m.onAccess(lineAddr, write)
+	}
 	ch, bk, row := m.mapAddr(lineAddr)
 	b := &m.banks[ch][bk]
 

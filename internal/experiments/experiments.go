@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -68,7 +69,9 @@ func List() []Experiment {
 	return out
 }
 
-// Run executes the named experiment.
+// Run executes the named experiment. A panic inside the experiment is
+// converted to an error, so a defect in one artifact reports instead
+// of killing the process.
 func Run(name string, opt Options) error {
 	e, ok := registry[name]
 	if !ok {
@@ -79,6 +82,29 @@ func Run(name string, opt Options) error {
 		sort.Strings(names)
 		return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, names)
 	}
+	return runRecovering(e, opt)
+}
+
+// RunAll executes every registered experiment in name order. Each runs
+// under panic recovery and a failure does not stop the batch; the
+// returned error joins every failure (nil when all succeeded).
+func RunAll(opt Options) error {
+	var errs []error
+	for _, e := range List() {
+		if err := runRecovering(e, opt); err != nil {
+			fmt.Fprintf(opt.Out, "\n!! %s failed: %v\n", e.Name, err)
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func runRecovering(e Experiment, opt Options) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("experiments: %s panicked: %v", e.Name, r)
+		}
+	}()
 	return e.Run(opt)
 }
 

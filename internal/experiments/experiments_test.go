@@ -36,6 +36,18 @@ func TestRunUnknown(t *testing.T) {
 	}
 }
 
+func TestRunRecoversPanic(t *testing.T) {
+	register("test-panic", "always panics", func(Options) error { panic("boom") })
+	defer delete(registry, "test-panic")
+	err := Run("test-panic", quickOpts())
+	if err == nil {
+		t.Fatal("panicking experiment did not report an error")
+	}
+	if !strings.Contains(err.Error(), "panicked") || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
 func TestFig2Shape(t *testing.T) {
 	rows := Fig2Data(quickOpts())
 	if len(rows) != 30 {
@@ -106,7 +118,10 @@ func TestFig6Staircase(t *testing.T) {
 }
 
 func TestFig9Shape(t *testing.T) {
-	series := Fig9Data(quickOpts())
+	series, err := Fig9Data(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(series) != 2 || series[0].Bench != "GemsFDTD" || series[1].Bench != "astar" {
 		t.Fatalf("series %+v", series)
 	}
@@ -121,7 +136,10 @@ func TestTab2Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("tab2 sweep is slow")
 	}
-	cells := Tab2Data(quickOpts())
+	cells, err := Tab2Data(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(cells) != 6 {
 		t.Fatalf("%d cells", len(cells))
 	}

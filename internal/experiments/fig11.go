@@ -23,16 +23,16 @@ type Fig11Row struct {
 var fig11Cache = map[[2]uint64][]Fig11Row{}
 
 // Fig11Data runs the dual methodology for every multi-core mix.
-func Fig11Data(opt Options) []Fig11Row {
+func Fig11Data(opt Options) ([]Fig11Row, error) {
 	key := [2]uint64{boolKey(opt.Quick), opt.seed()}
 	if rows, ok := fig11Cache[key]; ok {
-		return rows
+		return rows, nil
 	}
 	var rows []Fig11Row
 	for _, mix := range sim.Mixes() {
 		profs, err := mix.Profiles()
 		if err != nil {
-			panic(err)
+			return nil, fmt.Errorf("fig11: mix %s: %w", mix.Name, err)
 		}
 		row := Fig11Row{Mix: mix.Name, Runs: map[string]sim.MultiResult{}}
 
@@ -64,11 +64,14 @@ func Fig11Data(opt Options) []Fig11Row {
 		rows = append(rows, row)
 	}
 	fig11Cache[key] = rows
-	return rows
+	return rows, nil
 }
 
 func runFig11a(opt Options) error {
-	rows := Fig11Data(opt)
+	rows, err := Fig11Data(opt)
+	if err != nil {
+		return err
+	}
 	header(opt.Out, "Fig. 11a: 4-core cycle-based and memory-capacity relative performance")
 	tbl := stats.NewTable("mix",
 		"lcp:cyc", "align:cyc", "compresso:cyc",
@@ -95,7 +98,10 @@ func runFig11a(opt Options) error {
 }
 
 func runFig11b(opt Options) error {
-	rows := Fig11Data(opt)
+	rows, err := Fig11Data(opt)
+	if err != nil {
+		return err
+	}
 	header(opt.Out, "Fig. 11b: 4-core overall performance (cycle x capacity)")
 	tbl := stats.NewTable("mix", "lcp", "lcp-align", "compresso", "unconstrained")
 	var overall [3][]float64

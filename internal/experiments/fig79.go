@@ -73,7 +73,7 @@ type Fig9Series struct {
 // Fig9Data profiles the paper's two example benchmarks (GemsFDTD and
 // astar, both with pronounced compressibility phases) and compares the
 // representativeness of SimPoints vs CompressPoints.
-func Fig9Data(opt Options) []Fig9Series {
+func Fig9Data(opt Options) ([]Fig9Series, error) {
 	intervals := 12
 	opsPer := opt.ops() / 4
 	if opsPer == 0 {
@@ -83,7 +83,7 @@ func Fig9Data(opt Options) []Fig9Series {
 	for _, name := range []string{"GemsFDTD", "astar"} {
 		prof, err := workload.ByName(name)
 		if err != nil {
-			panic(err)
+			return nil, fmt.Errorf("fig9: %w", err)
 		}
 		prof.FootprintPages /= opt.scale()
 		if prof.FootprintPages < 16 {
@@ -116,7 +116,7 @@ func Fig9Data(opt Options) []Fig9Series {
 		s.CompPointErr = abs(s.CompPointEst - s.TrueMean)
 		out = append(out, s)
 	}
-	return out
+	return out, nil
 }
 
 func abs(x float64) float64 {
@@ -127,7 +127,10 @@ func abs(x float64) float64 {
 }
 
 func runFig9(opt Options) error {
-	series := Fig9Data(opt)
+	series, err := Fig9Data(opt)
+	if err != nil {
+		return err
+	}
 	header(opt.Out, "Fig. 9: SimPoint vs CompressPoint compressibility representativeness")
 	for _, s := range series {
 		fmt.Fprintf(opt.Out, "\n%s per-interval compression ratio:  %s\n  ", s.Bench, figures.Spark(s.Ratios))

@@ -33,12 +33,12 @@ var dmcBenchmarks = []string{"mcf", "omnetpp", "GemsFDTD", "libquantum", "Graph5
 
 // RelatedDMCData runs the comparison (MXT, DMC, Compresso against the
 // uncompressed baseline).
-func RelatedDMCData(opt Options) []DMCRow {
+func RelatedDMCData(opt Options) ([]DMCRow, error) {
 	var rows []DMCRow
 	for _, name := range dmcBenchmarks {
 		prof, err := workload.ByName(name)
 		if err != nil {
-			panic(err)
+			return nil, fmt.Errorf("related-dmc: %w", err)
 		}
 		run := func(sys sim.System) sim.Result {
 			cfg := sim.DefaultConfig(sys)
@@ -63,11 +63,14 @@ func RelatedDMCData(opt Options) []DMCRow {
 			CompExtra:    c.Mem.RelativeExtra(),
 		})
 	}
-	return rows
+	return rows, nil
 }
 
 func runRelatedDMC(opt Options) error {
-	rows := RelatedDMCData(opt)
+	rows, err := RelatedDMCData(opt)
+	if err != nil {
+		return err
+	}
 	header(opt.Out, "Related work (§VIII): MXT / DMC style baselines vs Compresso")
 	tbl := stats.NewTable("bench", "mxt:perf", "dmc:perf", "compresso:perf",
 		"mxt:ratio", "dmc:ratio", "compresso:ratio", "dmc:extra", "compresso:extra")

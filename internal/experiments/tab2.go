@@ -21,7 +21,7 @@ type Tab2Cell struct {
 // Tab2Data sweeps the constrained-memory fractions of Tab. II for 1-
 // and 4-core systems (capacity methodology; all numbers relative to
 // the constrained uncompressed baseline).
-func Tab2Data(opt Options) []Tab2Cell {
+func Tab2Data(opt Options) ([]Tab2Cell, error) {
 	fracs := []float64{0.8, 0.7, 0.6}
 	var cells []Tab2Cell
 
@@ -50,7 +50,7 @@ func Tab2Data(opt Options) []Tab2Cell {
 		for _, mix := range sim.Mixes() {
 			profs, err := mix.Profiles()
 			if err != nil {
-				panic(err)
+				return nil, fmt.Errorf("tab2: mix %s: %w", mix.Name, err)
 			}
 			cfg := capacity.DefaultConfig(frac)
 			cfg.Ops = opt.ops()
@@ -68,11 +68,14 @@ func Tab2Data(opt Options) []Tab2Cell {
 			Unconstrained: stats.Mean(unc),
 		})
 	}
-	return cells
+	return cells, nil
 }
 
 func runTab2(opt Options) error {
-	cells := Tab2Data(opt)
+	cells, err := Tab2Data(opt)
+	if err != nil {
+		return err
+	}
 	header(opt.Out, "Tab. II: speedup vs constrained-memory baseline at 80/70/60% of footprint")
 	tbl := stats.NewTable("memory", "cores", "lcp", "compresso", "unconstrained")
 	for _, c := range cells {

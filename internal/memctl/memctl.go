@@ -9,7 +9,11 @@
 // accesses through internal/dram.
 package memctl
 
-import "compresso/internal/dram"
+import (
+	"fmt"
+
+	"compresso/internal/dram"
+)
 
 // LineBytes is the demand access granularity.
 const LineBytes = 64
@@ -75,6 +79,32 @@ type Stats struct {
 	RepackAborts   uint64 // repack checks that found too little gain
 	Predictions    uint64 // §IV-B2 speculative page uncompressions
 	PageFaults     uint64 // LCP-only: OS faults on page overflow
+
+	// Robustness counters (internal/faults injection + internal/audit
+	// state auditing). All zero when injection and auditing are off;
+	// RepairAccesses is deliberately excluded from ExtraAccesses so the
+	// paper's Fig. 4/6 accounting is unchanged by recovery traffic.
+	InjectedFaults      uint64 // faults the injector fired inside this controller
+	ForcedMDMisses      uint64 // injected metadata-cache invalidations
+	AuditRuns           uint64 // state audits executed
+	CorruptionsDetected uint64 // violations found by audits and load-time checks
+	CorruptionsHealed   uint64 // corrupt lines healed by a later demand writeback
+	PagesRepaired       uint64 // pages rebuilt from the authoritative data
+	RepairFallbacks     uint64 // repairs that stored the page uncompressed
+	RepairAccesses      uint64 // DRAM writes spent re-laying-out repaired pages
+}
+
+// CorruptionSummary renders the robustness counters for end-of-run
+// reporting (empty when nothing was injected, detected or repaired).
+func (s Stats) CorruptionSummary() string {
+	if s.InjectedFaults == 0 && s.CorruptionsDetected == 0 && s.AuditRuns == 0 {
+		return ""
+	}
+	return fmt.Sprintf(
+		"%d faults injected (%d forced md misses) | %d audits: %d corruptions detected, "+
+			"%d healed by writeback, %d pages repaired (%d uncompressed fallbacks, %d repair writes)",
+		s.InjectedFaults, s.ForcedMDMisses, s.AuditRuns, s.CorruptionsDetected,
+		s.CorruptionsHealed, s.PagesRepaired, s.RepairFallbacks, s.RepairAccesses)
 }
 
 // DemandAccesses returns the LLC-visible access count, the denominator

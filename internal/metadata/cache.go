@@ -212,6 +212,23 @@ func (c *Cache) Demote(line *Line) {
 	}
 }
 
+// ForcedMiss removes page's resident line and returns its eviction
+// record — the fault-injection hook modelling a metadata-cache
+// invalidation glitch. The entry is lost and must be refetched; the
+// caller writes back dirty entries as for a normal eviction, so the
+// glitch costs traffic and latency, never state.
+func (c *Cache) ForcedMiss(page uint64) (Evicted, bool) {
+	s := c.setOf(page)
+	for i, l := range s.lines {
+		if l.Page == page {
+			s.lines = append(s.lines[:i], s.lines[i+1:]...)
+			c.stats.Evictions++
+			return Evicted{Page: l.Page, Dirty: l.Dirty}, true
+		}
+	}
+	return Evicted{}, false
+}
+
 // Drop removes page from the cache without counting an eviction,
 // used when a page's metadata is being discarded (ballooned away).
 func (c *Cache) Drop(page uint64) {

@@ -12,7 +12,10 @@
 //     whole-page moves on size changes.
 package mpa
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // ChunkSize is the fixed allocation unit in bytes.
 const ChunkSize = 512
@@ -63,6 +66,21 @@ func (a *ChunkAllocator) Free(c uint32) {
 	}
 	delete(a.used, c)
 	a.free = append(a.free, c)
+}
+
+// IsUsed reports whether chunk c is currently allocated, letting the
+// state auditor cross-check page ownership without mutating anything.
+func (a *ChunkAllocator) IsUsed(c uint32) bool { return a.used[c] }
+
+// Used returns the allocated chunk numbers in ascending order (the
+// auditor's occupancy view; sorted so reports are deterministic).
+func (a *ChunkAllocator) Used() []uint32 {
+	out := make([]uint32, 0, len(a.used))
+	for c := range a.used {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // FreeChunks returns the number of unallocated chunks.
@@ -177,6 +195,13 @@ func (b *BuddyAllocator) Free(base uint32) {
 		o++
 	}
 	b.free[o] = append(b.free[o], base)
+}
+
+// IsAllocated reports whether base is a live allocation (auditor
+// cross-check; BlockBytes panics on unallocated bases).
+func (b *BuddyAllocator) IsAllocated(base uint32) bool {
+	_, ok := b.alloc[base]
+	return ok
 }
 
 // BlockBytes returns the byte size of the live allocation at base.

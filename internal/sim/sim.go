@@ -8,11 +8,13 @@ package sim
 import (
 	"fmt"
 
+	"compresso/internal/audit"
 	"compresso/internal/cache"
 	"compresso/internal/core"
 	"compresso/internal/cpu"
 	"compresso/internal/dmc"
 	"compresso/internal/dram"
+	"compresso/internal/faults"
 	"compresso/internal/lcp"
 	"compresso/internal/memctl"
 	"compresso/internal/metadata"
@@ -85,6 +87,16 @@ type Config struct {
 	// CompressoMod / LCPMod tweak the controller configs (ablations).
 	CompressoMod func(*core.Config)
 	LCPMod       func(*lcp.Config)
+
+	// Inject configures deterministic fault injection (internal/faults).
+	// The zero value injects nothing and leaves the run bit-identical to
+	// an injector-free build. Controller-level sites currently apply to
+	// the Compresso system only; other systems just tally DRAM exposure.
+	Inject faults.Config
+
+	// AuditEvery runs a repairing structural state audit every N demand
+	// operations on controllers that support it (0 disables auditing).
+	AuditEvery uint64
 }
 
 // DefaultConfig returns the paper's Tab. III setup for the given
@@ -118,6 +130,11 @@ type Result struct {
 	Ratio float64
 
 	L3MissRate float64
+
+	// Faults and Audit summarize the robustness machinery's activity
+	// (zero values when injection/auditing were off).
+	Faults faults.Totals
+	Audit  audit.Outcome
 }
 
 // mdStatser is implemented by the compressed controllers.
@@ -181,45 +198,64 @@ func scaledL3Bytes(perCore, scale int) int {
 }
 
 // buildController constructs the system's controller for the given
-// OSPA page count. Machine memory is sized so the cycle-based runs are
-// never capacity constrained (capacity effects are evaluated by
+// OSPA page count, together with the run's fault injector (nil when
+// cfg.Inject is zero). Machine memory is sized so the cycle-based runs
+// are never capacity constrained (capacity effects are evaluated by
 // internal/capacity, per the paper's dual methodology).
-func buildController(cfg Config, sys System, ospaPages int, mem *dram.Memory, src memctl.LineSource) memctl.Controller {
+func buildController(cfg Config, sys System, ospaPages int, mem *dram.Memory, src memctl.LineSource) (memctl.Controller, *faults.Injector) {
 	machineBytes := int64(ospaPages)*memctl.PageSize + int64(ospaPages)*metadata.EntrySize + 1<<20
+	inj := faults.New(cfg.Inject)
+	if inj.Enabled() {
+		mem.SetOnAccess(inj.NoteDRAM)
+	}
 	switch sys {
 	case Uncompressed:
-		return memctl.NewUncompressed(mem)
+		return memctl.NewUncompressed(mem), inj
 	case LCP:
 		c := lcp.DefaultConfig(ospaPages, machineBytes)
 		if cfg.LCPMod != nil {
 			cfg.LCPMod(&c)
 		}
 		scaleMDCache(&c.MetadataCache, cfg.FootprintScale)
-		return lcp.New(c, mem, src)
+		return lcp.New(c, mem, src), inj
 	case LCPAlign:
 		c := lcp.AlignConfig(ospaPages, machineBytes)
 		if cfg.LCPMod != nil {
 			cfg.LCPMod(&c)
 		}
 		scaleMDCache(&c.MetadataCache, cfg.FootprintScale)
-		return lcp.New(c, mem, src)
+		return lcp.New(c, mem, src), inj
 	case Compresso:
 		c := core.DefaultConfig(ospaPages, machineBytes)
 		if cfg.CompressoMod != nil {
 			cfg.CompressoMod(&c)
 		}
 		scaleMDCache(&c.MetadataCache, cfg.FootprintScale)
-		return core.New(c, mem, src)
+		c.Faults = inj
+		return core.New(c, mem, src), inj
 	case DMC:
 		c := dmc.DefaultConfig(ospaPages, machineBytes)
 		scaleMDCache(&c.MetadataCache, cfg.FootprintScale)
-		return dmc.New(c, mem, src)
+		return dmc.New(c, mem, src), inj
 	case MXT:
 		c := dmc.MXTConfig(ospaPages, machineBytes)
 		scaleMDCache(&c.MetadataCache, cfg.FootprintScale)
-		return dmc.New(c, mem, src)
+		return dmc.New(c, mem, src), inj
 	}
 	panic("sim: unknown system")
+}
+
+// newAuditor builds the run's audit runner, or nil when auditing is
+// off or the controller cannot audit itself.
+func newAuditor(cfg Config, ctl memctl.Controller) *audit.Runner {
+	if cfg.AuditEvery == 0 {
+		return nil
+	}
+	a, ok := ctl.(audit.Auditable)
+	if !ok {
+		return nil
+	}
+	return audit.NewRunner(a, cfg.AuditEvery)
 }
 
 func scaled(p workload.Profile, scale int) workload.Profile {
@@ -240,8 +276,9 @@ func RunSingle(prof workload.Profile, cfg Config) Result {
 
 	mem := dram.New(cfg.DRAM)
 	src := &routedSource{basePages: []uint64{0}, images: []*workload.Image{img}}
-	ctl := buildController(cfg, cfg.System, prof.FootprintPages, mem, src)
+	ctl, inj := buildController(cfg, cfg.System, prof.FootprintPages, mem, src)
 	img.InstallInto(ctl)
+	auditor := newAuditor(cfg, ctl)
 
 	l3 := cache.New("l3", scaledL3Bytes(2<<20, cfg.FootprintScale), 16)
 	hier := cache.NewHierarchy(l3)
@@ -252,13 +289,23 @@ func RunSingle(prof workload.Profile, cfg Config) Result {
 	for i := uint64(0); i < cfg.Ops; i++ {
 		tr.Next(&op)
 		c.Step(&op)
+		if auditor != nil {
+			auditor.Tick()
+		}
 		if i+1 == warm {
 			resetAll(ctl, mem, hier)
 		}
 	}
 	c.Drain()
 
-	return collect(prof.Name, cfg.System, c, ctl, mem, l3)
+	res := collect(prof.Name, cfg.System, c, ctl, mem, l3)
+	if auditor != nil {
+		auditor.Final(audit.Structural)
+		res.Audit = auditor.Outcome()
+		res.Mem = ctl.Stats() // pick up the final audit's counters
+	}
+	res.Faults = inj.Totals()
+	return res
 }
 
 func resetAll(ctl memctl.Controller, mem *dram.Memory, hiers ...interface{ ResetStats() }) {
@@ -296,6 +343,11 @@ type MultiResult struct {
 	Mem     memctl.Stats
 	Dram    dram.Stats
 	Ratio   float64
+
+	// Faults and Audit summarize the robustness machinery's activity
+	// (zero values when injection/auditing were off).
+	Faults faults.Totals
+	Audit  audit.Outcome
 }
 
 // WeightedSpeedup computes the standard multi-core metric against a
@@ -342,12 +394,13 @@ func RunMix(mixName string, profs []workload.Profile, cfg Config) MultiResult {
 		cfg.FootprintScale /= 2 // shared md cache covers n cores' pages
 	}
 	src := &routedSource{basePages: base, images: images}
-	ctl := buildController(cfg, cfg.System, int(nextPage), mem, src)
+	ctl, inj := buildController(cfg, cfg.System, int(nextPage), mem, src)
 	for i := range images {
 		for p := uint64(0); p < uint64(images[i].FootprintPages()); p++ {
 			ctl.InstallPage(base[i]+p, images[i].Page(p))
 		}
 	}
+	auditor := newAuditor(cfg, ctl)
 
 	// Shared L3: 8 MB for 4 cores (Tab. III), scaled by core count and
 	// footprint scale.
@@ -381,6 +434,9 @@ func RunMix(mixName string, profs []workload.Profile, cfg Config) MultiResult {
 		traces[sel].Next(&op)
 		op.LineAddr += base[sel] * memctl.LinesPerPage
 		cores[sel].Step(&op)
+		if auditor != nil {
+			auditor.Tick()
+		}
 		done[sel]++
 		if !warmed {
 			var minDone uint64 = 1 << 62
@@ -417,5 +473,11 @@ func RunMix(mixName string, profs []workload.Profile, cfg Config) MultiResult {
 		}
 		out.Cores = append(out.Cores, r)
 	}
+	if auditor != nil {
+		auditor.Final(audit.Structural)
+		out.Audit = auditor.Outcome()
+		out.Mem = ctl.Stats() // pick up the final audit's counters
+	}
+	out.Faults = inj.Totals()
 	return out
 }

@@ -206,3 +206,42 @@ func TestMultiCoreContention(t *testing.T) {
 		}
 	}
 }
+
+// TestPanicMessages pins the wording of the package's deliberate
+// panics: these fire on programming errors (not data corruption, which
+// the audit machinery reports instead), and tooling greps for them.
+func TestPanicMessages(t *testing.T) {
+	cases := []struct {
+		name string
+		want string
+		fn   func()
+	}{
+		{"routed line out of range", "sim: line 5 outside every core's range", func() {
+			rs := &routedSource{basePages: []uint64{1}, images: []*workload.Image{nil}}
+			var buf [64]byte
+			rs.ReadLine(5, buf[:])
+		}},
+		{"empty mix", "sim: empty mix", func() {
+			RunMix("empty", nil, quickCfg(Compresso))
+		}},
+		{"mismatched mix results", "sim: mismatched mix results", func() {
+			a := MultiResult{Cores: make([]Result, 2)}
+			b := MultiResult{Cores: make([]Result, 1)}
+			a.WeightedSpeedup(b)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("no panic, want %q", tc.want)
+				}
+				if msg, ok := r.(string); !ok || msg != tc.want {
+					t.Fatalf("panic %v, want %q", r, tc.want)
+				}
+			}()
+			tc.fn()
+		})
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+
+	"compresso/internal/faults"
 )
 
 // Trace files let a generated access stream be recorded once and
@@ -21,8 +23,22 @@ import (
 const traceMagic = "CTRC"
 const traceVersion = 1
 
+// maxTraceInstrs bounds one record's non-memory instruction count;
+// anything larger is corruption, not a plausible gap between memory
+// operations.
+const maxTraceInstrs = 1 << 32
+
 // WriteOps writes ops to w in the trace file format.
 func WriteOps(w io.Writer, ops []Op) error {
+	return WriteOpsInjected(w, ops, nil)
+}
+
+// WriteOpsInjected is WriteOps with a fault-injection hook: each
+// record is one faults.TraceTruncate opportunity, and when the fault
+// fires the stream is cut short there — the header still advertises
+// the full count, modelling a torn write. ReadOps must reject the
+// resulting file. A nil injector writes a pristine trace.
+func WriteOpsInjected(w io.Writer, ops []Op, inj *faults.Injector) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(traceMagic); err != nil {
 		return err
@@ -37,6 +53,9 @@ func WriteOps(w io.Writer, ops []Op) error {
 	}
 	var prev uint64
 	for _, op := range ops {
+		if inj.Roll(faults.TraceTruncate) {
+			break
+		}
 		n = binary.PutUvarint(buf[:], uint64(op.NonMemInstrs))
 		if _, err := bw.Write(buf[:n]); err != nil {
 			return err
@@ -58,26 +77,63 @@ func WriteOps(w io.Writer, ops []Op) error {
 	return bw.Flush()
 }
 
-// ReadOps parses a trace file written by WriteOps.
+// traceReader counts consumed bytes so parse errors can point at the
+// exact offset of the corruption or truncation.
+type traceReader struct {
+	br  *bufio.Reader
+	off int64
+}
+
+func (t *traceReader) ReadByte() (byte, error) {
+	b, err := t.br.ReadByte()
+	if err == nil {
+		t.off++
+	}
+	return b, err
+}
+
+func (t *traceReader) Read(p []byte) (int, error) {
+	n, err := t.br.Read(p)
+	t.off += int64(n)
+	return n, err
+}
+
+// atOffset converts a bare io.EOF into io.ErrUnexpectedEOF (the
+// header promised more data) and stamps the error with the byte
+// offset where the stream fell apart.
+func (t *traceReader) atOffset(what string, err error) error {
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	return fmt.Errorf("workload: %s at byte %d: %w", what, t.off, err)
+}
+
+// ReadOps parses a trace file written by WriteOps. Truncated or
+// corrupt input yields an error naming the byte offset of the damage;
+// it never panics and never returns a partial op list.
 func ReadOps(r io.Reader) ([]Op, error) {
-	br := bufio.NewReader(r)
+	tr := &traceReader{br: bufio.NewReader(r)}
 	magic := make([]byte, len(traceMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
+	if _, err := io.ReadFull(tr, magic); err != nil {
+		if err == io.ErrUnexpectedEOF || err == io.EOF {
+			return nil, fmt.Errorf("workload: trace shorter than magic (%d bytes): %w",
+				tr.off, io.ErrUnexpectedEOF)
+		}
 		return nil, fmt.Errorf("workload: reading trace magic: %w", err)
 	}
 	if string(magic) != traceMagic {
 		return nil, fmt.Errorf("workload: bad trace magic %q", magic)
 	}
-	ver, err := br.ReadByte()
+	ver, err := tr.ReadByte()
 	if err != nil {
-		return nil, fmt.Errorf("workload: reading trace version: %w", err)
+		return nil, tr.atOffset("reading trace version", err)
 	}
 	if ver != traceVersion {
 		return nil, fmt.Errorf("workload: unsupported trace version %d", ver)
 	}
-	count, err := binary.ReadUvarint(br)
+	count, err := binary.ReadUvarint(tr)
 	if err != nil {
-		return nil, fmt.Errorf("workload: reading op count: %w", err)
+		return nil, tr.atOffset("reading op count", err)
 	}
 	const maxOps = 1 << 32
 	if count > maxOps {
@@ -86,28 +142,37 @@ func ReadOps(r io.Reader) ([]Op, error) {
 	ops := make([]Op, 0, count)
 	var prev uint64
 	for i := uint64(0); i < count; i++ {
-		instrs, err := binary.ReadUvarint(br)
+		instrs, err := binary.ReadUvarint(tr)
 		if err != nil {
-			return nil, fmt.Errorf("workload: op %d instrs: %w", i, err)
+			return nil, tr.atOffset(fmt.Sprintf("op %d instrs", i), err)
 		}
-		delta, err := binary.ReadVarint(br)
+		if instrs > maxTraceInstrs {
+			return nil, fmt.Errorf("workload: op %d implausible instr count %d at byte %d",
+				i, instrs, tr.off)
+		}
+		delta, err := binary.ReadVarint(tr)
 		if err != nil {
-			return nil, fmt.Errorf("workload: op %d addr: %w", i, err)
+			return nil, tr.atOffset(fmt.Sprintf("op %d addr", i), err)
 		}
 		addr := uint64(int64(prev) + delta)
 		prev = addr
-		flag, err := br.ReadByte()
+		flag, err := tr.ReadByte()
 		if err != nil {
-			return nil, fmt.Errorf("workload: op %d flag: %w", i, err)
+			return nil, tr.atOffset(fmt.Sprintf("op %d flag", i), err)
 		}
 		if flag > 1 {
-			return nil, fmt.Errorf("workload: op %d bad write flag %d", i, flag)
+			return nil, fmt.Errorf("workload: op %d bad write flag %d at byte %d",
+				i, flag, tr.off-1)
 		}
 		ops = append(ops, Op{
 			NonMemInstrs: int(instrs),
 			LineAddr:     addr,
 			Write:        flag == 1,
 		})
+	}
+	// Anything after the advertised records is corruption too.
+	if _, err := tr.br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("workload: trailing garbage after %d ops at byte %d", count, tr.off)
 	}
 	return ops, nil
 }

@@ -2,7 +2,12 @@ package workload
 
 import (
 	"bytes"
+	"errors"
+	"io"
+	"strings"
 	"testing"
+
+	"compresso/internal/faults"
 )
 
 func TestTraceFileRoundTrip(t *testing.T) {
@@ -56,6 +61,82 @@ func TestTraceFileCorruption(t *testing.T) {
 		if _, err := ReadOps(bytes.NewReader(data)); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
+	}
+}
+
+func TestTraceFileTruncationOffsets(t *testing.T) {
+	p, _ := ByName("gcc")
+	p.FootprintPages = 32
+	ops := NewTrace(p, 11, 500).Record(500)
+	var full bytes.Buffer
+	if err := WriteOps(&full, ops); err != nil {
+		t.Fatal(err)
+	}
+	data := full.Bytes()
+	// Cut the file at every prefix length; each must be rejected (the
+	// header advertises 500 records) with the failing byte offset in
+	// the message, and must never panic.
+	for cut := 0; cut < len(data); cut += 7 {
+		_, err := ReadOps(bytes.NewReader(data[:cut]))
+		if err == nil {
+			t.Fatalf("cut at %d accepted", cut)
+		}
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut at %d: error %v does not wrap unexpected EOF", cut, err)
+		}
+		if !strings.Contains(err.Error(), "byte") {
+			t.Fatalf("cut at %d: error %q lacks a byte offset", cut, err)
+		}
+	}
+}
+
+func TestTraceFileTrailingGarbage(t *testing.T) {
+	p, _ := ByName("gcc")
+	p.FootprintPages = 32
+	ops := NewTrace(p, 11, 100).Record(100)
+	var buf bytes.Buffer
+	if err := WriteOps(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteByte(0xff)
+	if _, err := ReadOps(bytes.NewReader(buf.Bytes())); err == nil ||
+		!strings.Contains(err.Error(), "trailing garbage") {
+		t.Fatalf("trailing byte: %v", err)
+	}
+}
+
+func TestTraceFileInjectedTruncation(t *testing.T) {
+	p, _ := ByName("gcc")
+	p.FootprintPages = 32
+	ops := NewTrace(p, 11, 2000).Record(2000)
+
+	var cfg faults.Config
+	cfg.Seed = 7
+	cfg.Rate[faults.TraceTruncate] = 0.01
+	inj := faults.New(cfg)
+	var buf bytes.Buffer
+	if err := WriteOpsInjected(&buf, ops, inj); err != nil {
+		t.Fatal(err)
+	}
+	if inj.Totals().Sites[faults.TraceTruncate].Injected == 0 {
+		t.Skip("truncation fault did not fire at this seed")
+	}
+	_, err := ReadOps(bytes.NewReader(buf.Bytes()))
+	if err == nil {
+		t.Fatal("torn trace accepted")
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) || !strings.Contains(err.Error(), "byte") {
+		t.Fatalf("torn trace error %q lacks offset/unexpected-EOF", err)
+	}
+
+	// A nil injector must produce the pristine, readable file.
+	var clean bytes.Buffer
+	if err := WriteOpsInjected(&clean, ops, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadOps(bytes.NewReader(clean.Bytes()))
+	if err != nil || len(got) != len(ops) {
+		t.Fatalf("clean round trip: %v, %d ops", err, len(got))
 	}
 }
 
