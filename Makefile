@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz
+.PHONY: check vet build test race fuzz bench-quick
 
 check: vet build test race
 
@@ -16,11 +16,20 @@ build:
 test:
 	$(GO) test ./...
 
-# The controller and simulator are the timing-critical packages; run
-# them under the race detector even though the simulator itself is
-# single-goroutine (tests may parallelize).
+# The concurrency-bearing packages: the parallel fan-out primitive,
+# the experiments that run cells through it, and the simulator whose
+# state those cells must not share. The heaviest sweeps skip under the
+# race detector (see raceEnabled in internal/experiments); the light
+# cells still cover every parallel.Map call site.
 race:
-	$(GO) test -race ./internal/core/... ./internal/sim/...
+	$(GO) test -race -timeout 20m ./internal/core/... ./internal/sim/... \
+		./internal/parallel/... ./internal/experiments/...
+
+# Time one full quick-mode RunAll sweep serial vs parallel. The output
+# is byte-identical by contract; only the wall time should differ.
+bench-quick:
+	$(GO) test -run '^$$' -bench BenchmarkRunAllQuick -benchtime 1x -jobs 1 .
+	$(GO) test -run '^$$' -bench BenchmarkRunAllQuick -benchtime 1x .
 
 # Longer fuzz of the controller invariants (the default corpus runs
 # as part of `test`).

@@ -24,7 +24,10 @@ import (
 	"compresso/internal/experiments"
 )
 
-var fullScale = flag.Bool("full", false, "run benchmarks at full experiment scale")
+var (
+	fullScale = flag.Bool("full", false, "run benchmarks at full experiment scale")
+	jobs      = flag.Int("jobs", 0, "parallel workers for experiment cells (0 = GOMAXPROCS)")
+)
 
 var printed sync.Map
 
@@ -37,7 +40,7 @@ func runExperiment(b *testing.B, name string) {
 		if _, already := printed.LoadOrStore(name, true); !already {
 			out = os.Stdout
 		}
-		opt := experiments.Options{Out: out, Quick: !*fullScale, Seed: 42}
+		opt := experiments.Options{Out: out, Quick: !*fullScale, Seed: 42, Jobs: *jobs}
 		if err := experiments.Run(name, opt); err != nil {
 			b.Fatal(err)
 		}
@@ -107,6 +110,20 @@ func BenchmarkBPCVariants(b *testing.B) { runExperiment(b, "bpc-variants") }
 // BenchmarkRelatedDMC runs the §VIII related-work comparison against a
 // DMC-style dual-compression controller.
 func BenchmarkRelatedDMC(b *testing.B) { runExperiment(b, "related-dmc") }
+
+// BenchmarkRunAllQuick times one full quick-mode sweep of every
+// registered experiment through RunAll. Compare serial and parallel
+// wall time with `make bench-quick` (or -jobs N by hand); the rendered
+// output is byte-identical for every -jobs value, so only the wall
+// time should differ.
+func BenchmarkRunAllQuick(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opt := experiments.Options{Out: io.Discard, Quick: true, Seed: 42, Jobs: *jobs}
+		if err := experiments.RunAll(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // BenchmarkTab1 prints Tab. I (OS-aware vs OS-transparent challenges).
 func BenchmarkTab1(b *testing.B) { runExperiment(b, "tab1") }

@@ -29,7 +29,8 @@ func main() {
 		list    = flag.Bool("list", false, "list available experiments")
 		exp     = flag.String("exp", "", "experiment to run (or 'all')")
 		quick   = flag.Bool("quick", false, "reduced footprints and trace lengths")
-		seed    = flag.Uint64("seed", 42, "random seed")
+		seed    = flag.Uint64("seed", 42, "random seed (0 is a valid seed when passed explicitly)")
+		jobs    = flag.Int("jobs", 0, "parallel workers for experiment cells (0 = all cores); output is byte-identical for any value")
 		bench   = flag.String("bench", "", "run one benchmark instead of an experiment")
 		mix     = flag.String("mix", "", "run one Tab. IV mix (e.g. mix1) across all systems")
 		capFrac = flag.Float64("capacity", 0, "with -bench: run the memory-capacity evaluation at this constrained fraction (e.g. 0.7)")
@@ -42,6 +43,19 @@ func main() {
 	)
 	flag.Parse()
 
+	// An explicit -seed makes any value authoritative, including 0
+	// (which would otherwise alias the default 42).
+	seedSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			seedSet = true
+		}
+	})
+	expOpts := experiments.Options{
+		Out: os.Stdout, Quick: *quick,
+		Seed: *seed, SeedSet: seedSet, Jobs: *jobs,
+	}
+
 	switch {
 	case *list:
 		tbl := stats.NewTable("experiment", "description")
@@ -52,11 +66,11 @@ func main() {
 	case *exp == "all":
 		// RunAll recovers from per-experiment panics so one broken
 		// artifact does not kill the batch.
-		if err := experiments.RunAll(experiments.Options{Out: os.Stdout, Quick: *quick, Seed: *seed}); err != nil {
+		if err := experiments.RunAll(expOpts); err != nil {
 			fatal(err)
 		}
 	case *exp != "":
-		if err := experiments.Run(*exp, experiments.Options{Out: os.Stdout, Quick: *quick, Seed: *seed}); err != nil {
+		if err := experiments.Run(*exp, expOpts); err != nil {
 			fatal(err)
 		}
 	case *bench != "" && *capFrac > 0:
@@ -166,7 +180,11 @@ func runMixCLI(name string, ops uint64, scale int, seed uint64, inject string, a
 			tbl.AddRow(res.System, 1.0, res.Ratio, res.Mem.RelativeExtra())
 			continue
 		}
-		tbl.AddRow(res.System, res.WeightedSpeedup(base), res.Ratio, res.Mem.RelativeExtra())
+		ws, err := res.WeightedSpeedup(base)
+		if err != nil {
+			fatal(err)
+		}
+		tbl.AddRow(res.System, ws, res.Ratio, res.Mem.RelativeExtra())
 	}
 	tbl.Render(os.Stdout)
 	printRobustness(last.Mem, last.Faults, last.Audit)

@@ -6,6 +6,7 @@ import (
 	"compresso/internal/compress"
 	"compresso/internal/core"
 	"compresso/internal/memctl"
+	"compresso/internal/parallel"
 	"compresso/internal/sim"
 	"compresso/internal/stats"
 	"compresso/internal/workload"
@@ -26,9 +27,12 @@ type AbBinsRow struct {
 }
 
 // AbBinsData runs the bin-count and page-size-count ablations.
+// Benchmarks are independent cells fanned out across Options.Jobs
+// workers.
 func AbBinsData(opt Options) []AbBinsRow {
-	var rows []AbBinsRow
-	for _, prof := range workload.All() {
+	profs := workload.All()
+	return parallel.Map(opt.Jobs, len(profs), func(i int) AbBinsRow {
+		prof := profs[i]
 		mk := func(mod func(*core.Config)) sim.Result {
 			cfg := sim.DefaultConfig(sim.Compresso)
 			cfg.Ops = opt.ops()
@@ -44,7 +48,7 @@ func AbBinsData(opt Options) []AbBinsRow {
 			c.PageSizes = []int{2, 4, 6, 8}
 			c.DynamicIRExpansion = false // needs +1-chunk growth
 		})
-		rows = append(rows, AbBinsRow{
+		return AbBinsRow{
 			Bench:          prof.Name,
 			Ratio8Bins:     eightBins.Ratio,
 			Ratio4Bins:     fourBins.Ratio,
@@ -54,9 +58,8 @@ func AbBinsData(opt Options) []AbBinsRow {
 			Ratio4Pages:    fourPages.Ratio,
 			Resize8Pages:   eightPages.Mem.OverflowAccesses + eightPages.Mem.RepackAccesses,
 			Resize4Pages:   fourPages.Mem.OverflowAccesses + fourPages.Mem.RepackAccesses,
-		})
-	}
-	return rows
+		}
+	})
 }
 
 func runAbBins(opt Options) error {
@@ -94,9 +97,12 @@ type AbAlignRow struct {
 
 // AbAlignData runs the alignment ablation on the otherwise-unoptimized
 // system (isolating the bin effect, as the paper's search did).
+// Benchmarks are independent cells fanned out across Options.Jobs
+// workers.
 func AbAlignData(opt Options) []AbAlignRow {
-	var rows []AbAlignRow
-	for _, prof := range workload.All() {
+	profs := workload.All()
+	return parallel.Map(opt.Jobs, len(profs), func(i int) AbAlignRow {
+		prof := profs[i]
 		mk := func(bins compress.Bins) sim.Result {
 			cfg := sim.DefaultConfig(sim.Compresso)
 			cfg.Ops = opt.ops()
@@ -107,15 +113,14 @@ func AbAlignData(opt Options) []AbAlignRow {
 		}
 		legacy := mk(compress.LegacyBins)
 		aligned := mk(compress.CompressoBins)
-		rows = append(rows, AbAlignRow{
+		return AbAlignRow{
 			Bench:        prof.Name,
 			SplitLegacy:  float64(legacy.Mem.SplitAccesses) / float64(legacy.Mem.DemandAccesses()),
 			SplitAligned: float64(aligned.Mem.SplitAccesses) / float64(aligned.Mem.DemandAccesses()),
 			RatioLegacy:  legacy.Ratio,
 			RatioAligned: aligned.Ratio,
-		})
-	}
-	return rows
+		}
+	})
 }
 
 func runAbAlign(opt Options) error {
@@ -146,12 +151,15 @@ type BPCVariantRow struct {
 }
 
 // BPCVariantsData measures raw compressed bytes over each image.
+// Benchmarks are independent cells; each owns its compressors and
+// scratch buffer so cells share nothing.
 func BPCVariantsData(opt Options) []BPCVariantRow {
-	var rows []BPCVariantRow
-	best := compress.BPC{}
-	baseline := compress.BPC{DisableBestOf: true}
-	var buf [memctl.LineBytes]byte
-	for _, prof := range workload.All() {
+	profs := workload.All()
+	return parallel.Map(opt.Jobs, len(profs), func(i int) BPCVariantRow {
+		prof := profs[i]
+		best := compress.BPC{}
+		baseline := compress.BPC{DisableBestOf: true}
+		var buf [memctl.LineBytes]byte
 		prof.FootprintPages /= opt.scale()
 		if prof.FootprintPages < 16 {
 			prof.FootprintPages = 16
@@ -168,11 +176,10 @@ func BPCVariantsData(opt Options) []BPCVariantRow {
 		if bl > 0 {
 			saving = 1 - float64(bb)/float64(bl)
 		}
-		rows = append(rows, BPCVariantRow{
+		return BPCVariantRow{
 			Bench: prof.Name, BestOfBytes: bb, BaselineByte: bl, Saving: saving,
-		})
-	}
-	return rows
+		}
+	})
 }
 
 func runBPCVariants(opt Options) error {

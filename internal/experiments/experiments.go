@@ -6,10 +6,13 @@
 package experiments
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
 	"sort"
+
+	"compresso/internal/parallel"
 )
 
 // Options control an experiment run.
@@ -19,8 +22,17 @@ type Options struct {
 	// Quick shrinks footprints and trace lengths for smoke tests; the
 	// full configuration reproduces the paper-scale runs.
 	Quick bool
-	// Seed drives all randomness.
+	// Seed drives all randomness. A zero Seed falls back to the
+	// default 42 unless SeedSet marks it as deliberate.
 	Seed uint64
+	// SeedSet marks Seed as explicitly chosen, which makes Seed == 0 a
+	// usable seed instead of an alias for the default.
+	SeedSet bool
+	// Jobs bounds the worker goroutines that fan independent
+	// simulation cells out across cores; <= 0 means GOMAXPROCS. The
+	// rendered output is byte-identical for every Jobs value at the
+	// same seed (see DESIGN.md §7 for the determinism contract).
+	Jobs int
 }
 
 // ops and scale return the trace length and footprint divisor for the
@@ -40,7 +52,7 @@ func (o Options) scale() int {
 }
 
 func (o Options) seed() uint64 {
-	if o.Seed == 0 {
+	if o.Seed == 0 && !o.SeedSet {
 		return 42
 	}
 	return o.Seed
@@ -85,15 +97,32 @@ func Run(name string, opt Options) error {
 	return runRecovering(e, opt)
 }
 
-// RunAll executes every registered experiment in name order. Each runs
+// RunAll executes every registered experiment. Experiments run
+// concurrently (bounded by Options.Jobs), each rendering into its own
+// buffer; the buffers are flushed to opt.Out in name order, so the
+// output is byte-identical to a serial sweep. Each experiment runs
 // under panic recovery and a failure does not stop the batch; the
-// returned error joins every failure (nil when all succeeded).
+// returned error joins every failure in name order (nil when all
+// succeeded).
 func RunAll(opt Options) error {
+	list := List()
+	type outcome struct {
+		text string
+		err  error
+	}
+	outs := parallel.Map(opt.Jobs, len(list), func(i int) outcome {
+		var buf bytes.Buffer
+		sub := opt
+		sub.Out = &buf
+		err := runRecovering(list[i], sub)
+		return outcome{text: buf.String(), err: err}
+	})
 	var errs []error
-	for _, e := range List() {
-		if err := runRecovering(e, opt); err != nil {
-			fmt.Fprintf(opt.Out, "\n!! %s failed: %v\n", e.Name, err)
-			errs = append(errs, err)
+	for i, o := range outs {
+		io.WriteString(opt.Out, o.text)
+		if o.err != nil {
+			fmt.Fprintf(opt.Out, "\n!! %s failed: %v\n", list[i].Name, o.err)
+			errs = append(errs, o.err)
 		}
 	}
 	return errors.Join(errs...)

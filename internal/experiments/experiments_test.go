@@ -133,7 +133,7 @@ func TestFig9Shape(t *testing.T) {
 }
 
 func TestTab2Shape(t *testing.T) {
-	if testing.Short() {
+	if testing.Short() || raceEnabled {
 		t.Skip("tab2 sweep is slow")
 	}
 	cells, err := Tab2Data(quickOpts())
@@ -162,7 +162,7 @@ func TestTab2Shape(t *testing.T) {
 }
 
 func TestRunnersRender(t *testing.T) {
-	if testing.Short() {
+	if testing.Short() || raceEnabled {
 		t.Skip("full render sweep is slow")
 	}
 	// Every registered experiment must run end to end in quick mode
@@ -186,7 +186,7 @@ func TestRunnersRender(t *testing.T) {
 }
 
 func TestFig10Quick(t *testing.T) {
-	if testing.Short() {
+	if testing.Short() || raceEnabled {
 		t.Skip("dual methodology is slow")
 	}
 	rows := Fig10Data(quickOpts())

@@ -5,6 +5,7 @@ import (
 
 	"compresso/internal/capacity"
 	"compresso/internal/figures"
+	"compresso/internal/parallel"
 	"compresso/internal/sim"
 	"compresso/internal/stats"
 	"compresso/internal/workload"
@@ -49,42 +50,49 @@ var Fig10Excluded = map[string]bool{"mcf": true, "GemsFDTD": true, "lbm": true}
 
 // fig10Cache memoizes the expensive dual-methodology sweep so that
 // fig10a, fig10b and fig12 (which share the same runs) compute it
-// once per (quick, seed) configuration. Results are deterministic.
-var fig10Cache = map[[2]uint64][]Fig10Row{}
+// once per (quick, seed) configuration. Results are deterministic;
+// concurrent callers under a parallel RunAll share one computation.
+var fig10Cache memo[[]Fig10Row]
 
 // Fig10Data runs the dual methodology for every performance benchmark.
+// Each benchmark is an independent cell, fanned out across
+// Options.Jobs workers and reassembled in suite order.
 func Fig10Data(opt Options) []Fig10Row {
 	key := [2]uint64{boolKey(opt.Quick), opt.seed()}
-	if rows, ok := fig10Cache[key]; ok {
-		return rows
-	}
-	var rows []Fig10Row
-	for _, prof := range workload.PerformanceSet() {
-		row := Fig10Row{Bench: prof.Name, Runs: map[string]sim.Result{}}
+	rows, err := fig10Cache.get(key, func() ([]Fig10Row, error) {
+		profs := workload.PerformanceSet()
+		return parallel.Map(opt.Jobs, len(profs), func(i int) Fig10Row {
+			prof := profs[i]
+			row := Fig10Row{Bench: prof.Name, Runs: map[string]sim.Result{}}
 
-		// Cycle-based simulations.
-		base := runCycle(prof, sim.Uncompressed, opt)
-		row.Runs[base.System] = base
-		for i, sys := range CompressedSystems {
-			res := runCycle(prof, sys, opt)
-			row.Runs[res.System] = res
-			row.CycleRel[i] = float64(base.Cycles) / float64(res.Cycles)
-		}
+			// Cycle-based simulations.
+			base := runCycle(prof, sim.Uncompressed, opt)
+			row.Runs[base.System] = base
+			for i, sys := range CompressedSystems {
+				res := runCycle(prof, sys, opt)
+				row.Runs[res.System] = res
+				row.CycleRel[i] = float64(base.Cycles) / float64(res.Cycles)
+			}
 
-		// Memory-capacity impact at 70% constrained memory.
-		ccfg := capacity.DefaultConfig(0.7)
-		ccfg.Ops = opt.ops() * 3
-		ccfg.FootprintScale = opt.scale()
-		ccfg.Seed = opt.seed()
-		out := capacity.Evaluate(prof, ccfg)
-		for i, sys := range CompressedSystems {
-			row.CapRel[i] = out.RelPerf[capSizer(sys)]
-			row.Overall[i] = capacity.OverallPerformance(row.CycleRel[i], row.CapRel[i])
-		}
-		row.Unconstrained = out.Unconstrained
-		rows = append(rows, row)
+			// Memory-capacity impact at 70% constrained memory.
+			ccfg := capacity.DefaultConfig(0.7)
+			ccfg.Ops = opt.ops() * 3
+			ccfg.FootprintScale = opt.scale()
+			ccfg.Seed = opt.seed()
+			out := capacity.Evaluate(prof, ccfg)
+			for i, sys := range CompressedSystems {
+				row.CapRel[i] = out.RelPerf[capSizer(sys)]
+				row.Overall[i] = capacity.OverallPerformance(row.CycleRel[i], row.CapRel[i])
+			}
+			row.Unconstrained = out.Unconstrained
+			return row
+		}), nil
+	})
+	if err != nil {
+		// Only a panic in an earlier computation of the same key can
+		// leave an error here; resurface it for runRecovering.
+		panic(err)
 	}
-	fig10Cache[key] = rows
 	return rows
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"compresso/internal/capacity"
+	"compresso/internal/parallel"
 	"compresso/internal/sim"
 	"compresso/internal/stats"
 )
@@ -20,51 +21,54 @@ type Fig11Row struct {
 }
 
 // fig11Cache memoizes the mix sweep shared by fig11a and fig11b.
-var fig11Cache = map[[2]uint64][]Fig11Row{}
+var fig11Cache memo[[]Fig11Row]
 
-// Fig11Data runs the dual methodology for every multi-core mix.
+// Fig11Data runs the dual methodology for every multi-core mix. Each
+// mix is an independent cell, fanned out across Options.Jobs workers
+// and reassembled in Tab. IV order.
 func Fig11Data(opt Options) ([]Fig11Row, error) {
 	key := [2]uint64{boolKey(opt.Quick), opt.seed()}
-	if rows, ok := fig11Cache[key]; ok {
-		return rows, nil
-	}
-	var rows []Fig11Row
-	for _, mix := range sim.Mixes() {
-		profs, err := mix.Profiles()
-		if err != nil {
-			return nil, fmt.Errorf("fig11: mix %s: %w", mix.Name, err)
-		}
-		row := Fig11Row{Mix: mix.Name, Runs: map[string]sim.MultiResult{}}
+	return fig11Cache.get(key, func() ([]Fig11Row, error) {
+		mixes := sim.Mixes()
+		return parallel.MapErr(opt.Jobs, len(mixes), func(m int) (Fig11Row, error) {
+			mix := mixes[m]
+			profs, err := mix.Profiles()
+			if err != nil {
+				return Fig11Row{}, fmt.Errorf("fig11: mix %s: %w", mix.Name, err)
+			}
+			row := Fig11Row{Mix: mix.Name, Runs: map[string]sim.MultiResult{}}
 
-		mkCfg := func(sys sim.System) sim.Config {
-			cfg := sim.DefaultConfig(sys)
-			cfg.Ops = opt.ops() / 2
-			cfg.FootprintScale = opt.scale()
-			cfg.Seed = opt.seed()
-			return cfg
-		}
-		base := sim.RunMix(mix.Name, profs, mkCfg(sim.Uncompressed))
-		row.Runs[base.System] = base
-		for i, sys := range CompressedSystems {
-			res := sim.RunMix(mix.Name, profs, mkCfg(sys))
-			row.Runs[res.System] = res
-			row.CycleRel[i] = res.WeightedSpeedup(base)
-		}
+			mkCfg := func(sys sim.System) sim.Config {
+				cfg := sim.DefaultConfig(sys)
+				cfg.Ops = opt.ops() / 2
+				cfg.FootprintScale = opt.scale()
+				cfg.Seed = opt.seed()
+				return cfg
+			}
+			base := sim.RunMix(mix.Name, profs, mkCfg(sim.Uncompressed))
+			row.Runs[base.System] = base
+			for i, sys := range CompressedSystems {
+				res := sim.RunMix(mix.Name, profs, mkCfg(sys))
+				row.Runs[res.System] = res
+				row.CycleRel[i], err = res.WeightedSpeedup(base)
+				if err != nil {
+					return Fig11Row{}, fmt.Errorf("fig11: mix %s: %w", mix.Name, err)
+				}
+			}
 
-		ccfg := capacity.DefaultConfig(0.7)
-		ccfg.Ops = opt.ops()
-		ccfg.FootprintScale = opt.scale()
-		ccfg.Seed = opt.seed()
-		out := capacity.EvaluateMix(mix.Name, profs, ccfg)
-		for i, sys := range CompressedSystems {
-			row.CapRel[i] = out.RelPerf[capSizer(sys)]
-			row.Overall[i] = capacity.OverallPerformance(row.CycleRel[i], row.CapRel[i])
-		}
-		row.Unconstrained = out.Unconstrained
-		rows = append(rows, row)
-	}
-	fig11Cache[key] = rows
-	return rows, nil
+			ccfg := capacity.DefaultConfig(0.7)
+			ccfg.Ops = opt.ops()
+			ccfg.FootprintScale = opt.scale()
+			ccfg.Seed = opt.seed()
+			out := capacity.EvaluateMix(mix.Name, profs, ccfg)
+			for i, sys := range CompressedSystems {
+				row.CapRel[i] = out.RelPerf[capSizer(sys)]
+				row.Overall[i] = capacity.OverallPerformance(row.CycleRel[i], row.CapRel[i])
+			}
+			row.Unconstrained = out.Unconstrained
+			return row, nil
+		})
+	})
 }
 
 func runFig11a(opt Options) error {

@@ -6,6 +6,7 @@ import (
 	"compresso/internal/capacity"
 	"compresso/internal/compress"
 	"compresso/internal/memctl"
+	"compresso/internal/parallel"
 	"compresso/internal/stats"
 	"compresso/internal/workload"
 )
@@ -23,10 +24,12 @@ type Fig2Row struct {
 // Fig2Data measures page-packing compression ratios over each
 // benchmark's memory image: {BPC, BDI} × {LinePack, LCP-packing}, all
 // with the legacy 0/22/44/64 line bins (the packing comparison of
-// §II-C predates the alignment optimization).
+// §II-C predates the alignment optimization). Benchmarks are
+// independent cells fanned out across Options.Jobs workers.
 func Fig2Data(opt Options) []Fig2Row {
-	var rows []Fig2Row
-	for _, prof := range workload.All() {
+	profs := workload.All()
+	return parallel.Map(opt.Jobs, len(profs), func(n int) Fig2Row {
+		prof := profs[n]
 		prof.FootprintPages /= opt.scale()
 		if prof.FootprintPages < 16 {
 			prof.FootprintPages = 16
@@ -55,9 +58,8 @@ func Fig2Data(opt Options) []Fig2Row {
 		row.BPCLCP = ratio(footprint, lcpBPC)
 		row.BDILinePack = ratio(footprint, lpBDI)
 		row.BDILCP = ratio(footprint, lcpBDI)
-		rows = append(rows, row)
-	}
-	return rows
+		return row
+	})
 }
 
 func ratio(fp, store int64) float64 {

@@ -7,6 +7,7 @@ import (
 	"compresso/internal/core"
 	"compresso/internal/figures"
 	"compresso/internal/metadata"
+	"compresso/internal/parallel"
 	"compresso/internal/sim"
 	"compresso/internal/stats"
 	"compresso/internal/workload"
@@ -55,10 +56,12 @@ type Fig4Row struct {
 }
 
 // Fig4Data runs the unoptimized compressed system per benchmark under
-// both allocation disciplines.
+// both allocation disciplines. Benchmarks are independent cells fanned
+// out across Options.Jobs workers.
 func Fig4Data(opt Options) []Fig4Row {
-	var rows []Fig4Row
-	for _, prof := range workload.All() {
+	profs := workload.All()
+	return parallel.Map(opt.Jobs, len(profs), func(i int) Fig4Row {
+		prof := profs[i]
 		cfg := sim.DefaultConfig(sim.Compresso)
 		cfg.Ops = opt.ops()
 		cfg.FootprintScale = opt.scale()
@@ -73,13 +76,12 @@ func Fig4Data(opt Options) []Fig4Row {
 		}
 		variable := sim.RunSingle(prof, cfg)
 
-		rows = append(rows, Fig4Row{
+		return Fig4Row{
 			Bench:    prof.Name,
 			Fixed:    breakdown(fixed),
 			Variable: breakdown(variable),
-		})
-	}
-	return rows
+		}
+	})
 }
 
 func runFig4(opt Options) error {
@@ -143,22 +145,28 @@ func fig6Mods() []func(*core.Config) {
 	}
 }
 
-// Fig6Data runs the optimization staircase per benchmark.
+// Fig6Data runs the optimization staircase per benchmark. The grid is
+// flattened to (benchmark, stage) cells so the fan-out stays wide even
+// for high job counts; results land by index, preserving suite order.
 func Fig6Data(opt Options) []Fig6Row {
 	mods := fig6Mods()
-	var rows []Fig6Row
-	for _, prof := range workload.All() {
-		row := Fig6Row{Bench: prof.Name}
-		for s, mod := range mods {
-			cfg := sim.DefaultConfig(sim.Compresso)
-			cfg.Ops = opt.ops()
-			cfg.FootprintScale = opt.scale()
-			cfg.Seed = opt.seed()
-			cfg.CompressoMod = mod
-			res := sim.RunSingle(prof, cfg)
-			row.Stages[s] = breakdown(res).Total()
+	profs := workload.All()
+	vals := parallel.Map(opt.Jobs, len(profs)*len(mods), func(k int) float64 {
+		prof, mod := profs[k/len(mods)], mods[k%len(mods)]
+		cfg := sim.DefaultConfig(sim.Compresso)
+		cfg.Ops = opt.ops()
+		cfg.FootprintScale = opt.scale()
+		cfg.Seed = opt.seed()
+		cfg.CompressoMod = mod
+		res := sim.RunSingle(prof, cfg)
+		return breakdown(res).Total()
+	})
+	rows := make([]Fig6Row, len(profs))
+	for i, prof := range profs {
+		rows[i].Bench = prof.Name
+		for s := range mods {
+			rows[i].Stages[s] = vals[i*len(mods)+s]
 		}
-		rows = append(rows, row)
 	}
 	return rows
 }

@@ -6,6 +6,7 @@ import (
 	"compresso/internal/core"
 	"compresso/internal/cpoints"
 	"compresso/internal/figures"
+	"compresso/internal/parallel"
 	"compresso/internal/sim"
 	"compresso/internal/stats"
 	"compresso/internal/workload"
@@ -20,10 +21,12 @@ type Fig7Row struct {
 	RelativeNR float64 // NoRepack / WithRepack (the Fig. 7 bars)
 }
 
-// Fig7Data runs Compresso with repacking on and off.
+// Fig7Data runs Compresso with repacking on and off. Benchmarks are
+// independent cells fanned out across Options.Jobs workers.
 func Fig7Data(opt Options) []Fig7Row {
-	var rows []Fig7Row
-	for _, prof := range workload.All() {
+	profs := workload.All()
+	return parallel.Map(opt.Jobs, len(profs), func(i int) Fig7Row {
+		prof := profs[i]
 		cfg := sim.DefaultConfig(sim.Compresso)
 		cfg.Ops = opt.ops()
 		cfg.FootprintScale = opt.scale()
@@ -33,14 +36,13 @@ func Fig7Data(opt Options) []Fig7Row {
 		cfg.CompressoMod = func(c *core.Config) { c.DynamicRepacking = false }
 		without := sim.RunSingle(prof, cfg)
 
-		rows = append(rows, Fig7Row{
+		return Fig7Row{
 			Bench:      prof.Name,
 			WithRepack: with.Ratio,
 			NoRepack:   without.Ratio,
 			RelativeNR: without.Ratio / with.Ratio,
-		})
-	}
-	return rows
+		}
+	})
 }
 
 func runFig7(opt Options) error {
@@ -79,11 +81,12 @@ func Fig9Data(opt Options) ([]Fig9Series, error) {
 	if opsPer == 0 {
 		opsPer = 1000
 	}
-	var out []Fig9Series
-	for _, name := range []string{"GemsFDTD", "astar"} {
+	names := []string{"GemsFDTD", "astar"}
+	return parallel.MapErr(opt.Jobs, len(names), func(i int) (Fig9Series, error) {
+		name := names[i]
 		prof, err := workload.ByName(name)
 		if err != nil {
-			return nil, fmt.Errorf("fig9: %w", err)
+			return Fig9Series{}, fmt.Errorf("fig9: %w", err)
 		}
 		prof.FootprintPages /= opt.scale()
 		if prof.FootprintPages < 16 {
@@ -114,9 +117,8 @@ func Fig9Data(opt Options) ([]Fig9Series, error) {
 		s.CompPointEst = cpoints.WeightedRatio(ivs, cp, cw)
 		s.SimPointErr = abs(s.SimPointEst - s.TrueMean)
 		s.CompPointErr = abs(s.CompPointEst - s.TrueMean)
-		out = append(out, s)
-	}
-	return out, nil
+		return s, nil
+	})
 }
 
 func abs(x float64) float64 {

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"compresso/internal/parallel"
 	"compresso/internal/sim"
 	"compresso/internal/stats"
 	"compresso/internal/workload"
@@ -32,13 +33,14 @@ type DMCRow struct {
 var dmcBenchmarks = []string{"mcf", "omnetpp", "GemsFDTD", "libquantum", "Graph500", "xalancbmk", "povray"}
 
 // RelatedDMCData runs the comparison (MXT, DMC, Compresso against the
-// uncompressed baseline).
+// uncompressed baseline). Benchmarks are independent cells fanned out
+// across Options.Jobs workers.
 func RelatedDMCData(opt Options) ([]DMCRow, error) {
-	var rows []DMCRow
-	for _, name := range dmcBenchmarks {
+	return parallel.MapErr(opt.Jobs, len(dmcBenchmarks), func(i int) (DMCRow, error) {
+		name := dmcBenchmarks[i]
 		prof, err := workload.ByName(name)
 		if err != nil {
-			return nil, fmt.Errorf("related-dmc: %w", err)
+			return DMCRow{}, fmt.Errorf("related-dmc: %w", err)
 		}
 		run := func(sys sim.System) sim.Result {
 			cfg := sim.DefaultConfig(sys)
@@ -51,7 +53,7 @@ func RelatedDMCData(opt Options) ([]DMCRow, error) {
 		m := run(sim.MXT)
 		d := run(sim.DMC)
 		c := run(sim.Compresso)
-		rows = append(rows, DMCRow{
+		return DMCRow{
 			Bench:        name,
 			MXTRel:       float64(base.Cycles) / float64(m.Cycles),
 			DMCRel:       float64(base.Cycles) / float64(d.Cycles),
@@ -61,9 +63,8 @@ func RelatedDMCData(opt Options) ([]DMCRow, error) {
 			CompRatio:    c.Ratio,
 			DMCExtra:     d.Mem.RelativeExtra(),
 			CompExtra:    c.Mem.RelativeExtra(),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 func runRelatedDMC(opt Options) error {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"compresso/internal/capacity"
+	"compresso/internal/parallel"
 	"compresso/internal/sim"
 	"compresso/internal/stats"
 	"compresso/internal/workload"
@@ -20,53 +21,73 @@ type Tab2Cell struct {
 
 // Tab2Data sweeps the constrained-memory fractions of Tab. II for 1-
 // and 4-core systems (capacity methodology; all numbers relative to
-// the constrained uncompressed baseline).
+// the constrained uncompressed baseline). The sweep is flattened to
+// (fraction, benchmark-or-mix) cells so it fans wide across
+// Options.Jobs workers; the per-cell results are averaged back into
+// table order afterwards.
 func Tab2Data(opt Options) ([]Tab2Cell, error) {
 	fracs := []float64{0.8, 0.7, 0.6}
-	var cells []Tab2Cell
+	profs := workload.PerformanceSet()
+	mixes := sim.Mixes()
+	mixProfs := make([][]workload.Profile, len(mixes))
+	for i, mix := range mixes {
+		ps, err := mix.Profiles()
+		if err != nil {
+			return nil, fmt.Errorf("tab2: mix %s: %w", mix.Name, err)
+		}
+		mixProfs[i] = ps
+	}
 
-	for _, frac := range fracs {
-		// Single core: average over the performance set.
-		var lcp, comp, unc []float64
-		for _, prof := range workload.PerformanceSet() {
+	// Cell layout per fraction: the single-core benchmarks first, then
+	// the 4-core mixes.
+	perFrac := len(profs) + len(mixes)
+	type rel struct{ lcp, comp, unc float64 }
+	vals := parallel.Map(opt.Jobs, len(fracs)*perFrac, func(k int) rel {
+		frac := fracs[k/perFrac]
+		j := k % perFrac
+		if j < len(profs) {
 			cfg := capacity.DefaultConfig(frac)
 			cfg.Ops = opt.ops() * 2
 			cfg.FootprintScale = opt.scale()
 			cfg.Seed = opt.seed()
-			out := capacity.Evaluate(prof, cfg)
-			lcp = append(lcp, out.RelPerf[capacity.LCP])
-			comp = append(comp, out.RelPerf[capacity.Compresso])
-			unc = append(unc, out.Unconstrained)
-		}
-		cells = append(cells, Tab2Cell{
-			Frac: frac, Cores: 1,
-			LCP:           stats.Mean(lcp),
-			Compresso:     stats.Mean(comp),
-			Unconstrained: stats.Mean(unc),
-		})
-
-		// Four cores: average over the mixes.
-		lcp, comp, unc = nil, nil, nil
-		for _, mix := range sim.Mixes() {
-			profs, err := mix.Profiles()
-			if err != nil {
-				return nil, fmt.Errorf("tab2: mix %s: %w", mix.Name, err)
+			out := capacity.Evaluate(profs[j], cfg)
+			return rel{
+				lcp:  out.RelPerf[capacity.LCP],
+				comp: out.RelPerf[capacity.Compresso],
+				unc:  out.Unconstrained,
 			}
-			cfg := capacity.DefaultConfig(frac)
-			cfg.Ops = opt.ops()
-			cfg.FootprintScale = opt.scale()
-			cfg.Seed = opt.seed()
-			out := capacity.EvaluateMix(mix.Name, profs, cfg)
-			lcp = append(lcp, out.RelPerf[capacity.LCP])
-			comp = append(comp, out.RelPerf[capacity.Compresso])
-			unc = append(unc, out.Unconstrained)
 		}
-		cells = append(cells, Tab2Cell{
-			Frac: frac, Cores: 4,
-			LCP:           stats.Mean(lcp),
-			Compresso:     stats.Mean(comp),
-			Unconstrained: stats.Mean(unc),
-		})
+		m := j - len(profs)
+		cfg := capacity.DefaultConfig(frac)
+		cfg.Ops = opt.ops()
+		cfg.FootprintScale = opt.scale()
+		cfg.Seed = opt.seed()
+		out := capacity.EvaluateMix(mixes[m].Name, mixProfs[m], cfg)
+		return rel{
+			lcp:  out.RelPerf[capacity.LCP],
+			comp: out.RelPerf[capacity.Compresso],
+			unc:  out.Unconstrained,
+		}
+	})
+
+	var cells []Tab2Cell
+	for f, frac := range fracs {
+		mean := func(lo, hi int, cores int) Tab2Cell {
+			var lcp, comp, unc []float64
+			for _, v := range vals[f*perFrac+lo : f*perFrac+hi] {
+				lcp = append(lcp, v.lcp)
+				comp = append(comp, v.comp)
+				unc = append(unc, v.unc)
+			}
+			return Tab2Cell{
+				Frac: frac, Cores: cores,
+				LCP:           stats.Mean(lcp),
+				Compresso:     stats.Mean(comp),
+				Unconstrained: stats.Mean(unc),
+			}
+		}
+		cells = append(cells, mean(0, len(profs), 1))
+		cells = append(cells, mean(len(profs), perFrac, 4))
 	}
 	return cells, nil
 }

@@ -187,7 +187,7 @@ func New(cfg Config) *Injector {
 	if !cfg.Enabled() {
 		return nil
 	}
-	return &Injector{cfg: cfg, r: rng.New(cfg.Seed ^ 0xfa017) }
+	return &Injector{cfg: cfg, r: rng.New(cfg.Seed ^ 0xfa017)}
 }
 
 // Enabled reports whether injection is active.

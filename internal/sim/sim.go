@@ -7,6 +7,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 
 	"compresso/internal/audit"
 	"compresso/internal/cache"
@@ -351,16 +352,25 @@ type MultiResult struct {
 }
 
 // WeightedSpeedup computes the standard multi-core metric against a
-// baseline run of the same mix: the mean of per-core IPC ratios.
-func (m MultiResult) WeightedSpeedup(base MultiResult) float64 {
+// baseline run of the same mix: the mean of per-core IPC ratios. A
+// baseline core with degenerate IPC (zero, NaN or Inf — a core that
+// retired nothing) returns an error instead of letting Inf/NaN flow
+// into downstream geomeans and panic mid-experiment. Comparing results
+// with different core counts is a programming error and panics.
+func (m MultiResult) WeightedSpeedup(base MultiResult) (float64, error) {
 	if len(m.Cores) != len(base.Cores) {
 		panic("sim: mismatched mix results")
 	}
 	total := 0.0
 	for i := range m.Cores {
-		total += m.Cores[i].IPC / base.Cores[i].IPC
+		b := base.Cores[i].IPC
+		if b <= 0 || math.IsNaN(b) || math.IsInf(b, 0) {
+			return 0, fmt.Errorf("sim: mix %s baseline core %d (%s) has degenerate IPC %v",
+				base.MixName, i, base.Cores[i].Bench, b)
+		}
+		total += m.Cores[i].IPC / b
 	}
-	return total / float64(len(m.Cores))
+	return total / float64(len(m.Cores)), nil
 }
 
 // RunMix simulates a multi-core mix sharing the L3, controller and
@@ -415,7 +425,11 @@ func RunMix(mixName string, profs []workload.Profile, cfg Config) MultiResult {
 	warm := uint64(float64(cfg.Ops) * cfg.WarmupFrac)
 	done := make([]uint64, n) // ops completed per core
 	var op workload.Op
-	warmed := false
+	// WarmupFrac == 0 means "no warmup": start warmed so the minDone
+	// check below cannot reset the statistics one op into the run
+	// (RunSingle's `i+1 == warm` comparison never fires for warm == 0;
+	// this keeps the two runners consistent).
+	warmed := warm == 0
 	for {
 		// Pick the core with the smallest local clock that still has
 		// work; this keeps the cores continuously contending.

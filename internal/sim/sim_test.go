@@ -1,9 +1,10 @@
 package sim
 
 import (
-	"compresso/internal/core"
+	"strings"
 	"testing"
 
+	"compresso/internal/core"
 	"compresso/internal/workload"
 )
 
@@ -132,7 +133,10 @@ func TestRunMix(t *testing.T) {
 		t.Fatalf("mix ratio %v", res.Ratio)
 	}
 	base := RunMix("mix2", profs, func() Config { c := quickCfg(Uncompressed); c.Ops = 15_000; return c }())
-	ws := res.WeightedSpeedup(base)
+	ws, err := res.WeightedSpeedup(base)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if ws < 0.3 || ws > 2.5 {
 		t.Fatalf("weighted speedup %v implausible", ws)
 	}
@@ -227,7 +231,7 @@ func TestPanicMessages(t *testing.T) {
 		{"mismatched mix results", "sim: mismatched mix results", func() {
 			a := MultiResult{Cores: make([]Result, 2)}
 			b := MultiResult{Cores: make([]Result, 1)}
-			a.WeightedSpeedup(b)
+			_, _ = a.WeightedSpeedup(b)
 		}},
 	}
 	for _, tc := range cases {
@@ -243,5 +247,90 @@ func TestPanicMessages(t *testing.T) {
 			}()
 			tc.fn()
 		})
+	}
+}
+
+// TestRunMixZeroWarmupParity pins the WarmupFrac == 0 semantics: "no
+// warmup" must mean the statistics cover the whole run in both
+// runners. A 1-core mix configured identically to a single-core run
+// must reproduce it exactly; before the warm == 0 guard in RunMix, the
+// mix runner reset its memory-side statistics one op into the run and
+// this parity broke.
+func TestRunMixZeroWarmupParity(t *testing.T) {
+	prof, err := workload.ByName("povray")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(Compresso)
+	cfg.Ops = 8_000
+	cfg.WarmupFrac = 0
+	// Scale 2 keeps RunMix's shared-metadata-cache halving (applied
+	// only for scales > 2) out of play so the configs match exactly.
+	cfg.FootprintScale = 2
+
+	single := RunSingle(prof, cfg)
+	mix := RunMix("solo", []workload.Profile{prof}, cfg)
+
+	if len(mix.Cores) != 1 {
+		t.Fatalf("%d cores", len(mix.Cores))
+	}
+	if mix.Cores[0].Cycles != single.Cycles || mix.Cores[0].Instrs != single.Instrs {
+		t.Fatalf("cycle/instr parity lost: mix %d/%d vs single %d/%d",
+			mix.Cores[0].Cycles, mix.Cores[0].Instrs, single.Cycles, single.Instrs)
+	}
+	if mix.Cores[0].IPC != single.IPC {
+		t.Fatalf("IPC parity lost: mix %v vs single %v", mix.Cores[0].IPC, single.IPC)
+	}
+	if mix.Mem != single.Mem {
+		t.Fatalf("memory stats parity lost:\nmix    %+v\nsingle %+v", mix.Mem, single.Mem)
+	}
+}
+
+// TestRunMixMultiCoreZeroWarmup covers the 4-core variant of the same
+// bug: with no warmup the controller statistics must cover the whole
+// run, so they cannot count fewer accesses than a run that discards a
+// warmup prefix (mirrors TestWarmupReset for RunSingle).
+func TestRunMixMultiCoreZeroWarmup(t *testing.T) {
+	profs, err := Mixes()[1].Profiles() // milc, astar, gamess, tonto
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickCfg(Uncompressed)
+	cfg.Ops = 5_000
+	cfg.WarmupFrac = 0
+	full := RunMix("mix2", profs, cfg)
+	cfgW := cfg
+	cfgW.WarmupFrac = 0.5
+	half := RunMix("mix2", profs, cfgW)
+	if full.Mem.DemandAccesses() <= half.Mem.DemandAccesses() {
+		t.Fatalf("zero-warmup demand accesses %d not above half-warmup %d: stats were reset mid-run",
+			full.Mem.DemandAccesses(), half.Mem.DemandAccesses())
+	}
+}
+
+// TestWeightedSpeedupDegenerateBaseline pins the zero-IPC guard: a
+// baseline core that retired nothing must surface as an error, not as
+// an Inf/NaN that poisons downstream geomeans.
+func TestWeightedSpeedupDegenerateBaseline(t *testing.T) {
+	m := MultiResult{Cores: []Result{{Bench: "a", IPC: 1.5}, {Bench: "b", IPC: 0.8}}}
+	base := MultiResult{MixName: "mixX", Cores: []Result{{Bench: "a", IPC: 1.2}, {Bench: "b", IPC: 0}}}
+	ws, err := m.WeightedSpeedup(base)
+	if err == nil {
+		t.Fatalf("degenerate baseline accepted, got speedup %v", ws)
+	}
+	for _, frag := range []string{"mixX", "core 1", "b", "degenerate IPC"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Fatalf("error %q does not mention %q", err, frag)
+		}
+	}
+
+	// The healthy path still works.
+	healthy := MultiResult{Cores: []Result{{IPC: 1.0}, {IPC: 1.0}}}
+	ws, err = m.WeightedSpeedup(healthy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := (1.5 + 0.8) / 2; ws != want {
+		t.Fatalf("speedup %v, want %v", ws, want)
 	}
 }
