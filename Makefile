@@ -3,12 +3,17 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz bench-quick
+.PHONY: check vet fmt-check build test race fuzz bench-quick bench-json
 
-check: vet build test race
+check: vet fmt-check build test race
 
 vet:
 	$(GO) vet ./...
+
+# gofmt cleanliness gate: any file gofmt would rewrite fails the check.
+fmt-check:
+	@files=$$(gofmt -l cmd internal); if [ -n "$$files" ]; then \
+		echo "gofmt needed on:"; echo "$$files"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -30,6 +35,19 @@ race:
 bench-quick:
 	$(GO) test -run '^$$' -bench BenchmarkRunAllQuick -benchtime 1x -jobs 1 .
 	$(GO) test -run '^$$' -bench BenchmarkRunAllQuick -benchtime 1x .
+
+# Snapshot the perf-tracking baseline as BENCH_*.json artifacts
+# (DESIGN.md §8): a single-benchmark four-system comparison and one
+# Tab. IV mix, each carrying the full metrics-registry snapshot.
+bench-json:
+	@rm -rf .bench-json-tmp
+	$(GO) run ./cmd/compresso-sim -bench gcc -compare -ops 100000 -scale 8 \
+		-trace-events 1024 -json .bench-json-tmp > /dev/null
+	$(GO) run ./cmd/compresso-sim -mix mix1 -ops 50000 -scale 8 \
+		-trace-events 1024 -json .bench-json-tmp > /dev/null
+	@for f in .bench-json-tmp/*.json; do \
+		mv "$$f" "BENCH_$$(basename $$f)"; done; rm -rf .bench-json-tmp
+	@ls BENCH_*.json
 
 # Longer fuzz of the controller invariants (the default corpus runs
 # as part of `test`).

@@ -13,12 +13,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"compresso/internal/audit"
 	"compresso/internal/capacity"
 	"compresso/internal/experiments"
 	"compresso/internal/faults"
 	"compresso/internal/memctl"
+	"compresso/internal/obs"
 	"compresso/internal/sim"
 	"compresso/internal/stats"
 	"compresso/internal/workload"
@@ -40,8 +43,30 @@ func main() {
 		compare = flag.Bool("compare", false, "with -bench: run all four systems and compare")
 		inject  = flag.String("inject", "", "fault-injection spec, e.g. bitflip:1e-6,mdmiss:1e-4 (sites: bitflip, metaflip, chunkdrop, chunkdup, mdmiss, tracetrunc)")
 		auditEv = flag.Uint64("audit-every", 0, "run a repairing state audit every N demand ops (0 disables)")
+		jsonDir = flag.String("json", "", "write JSON artifacts for every run/experiment into this directory")
+		traceEv = flag.Int("trace-events", 0, "retain the newest N controller events in the result trace (0 disables tracing)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		stopCPUProfile = func() { pprof.StopCPUProfile(); f.Close() }
+		defer finishProfiles()
+	}
+	if *memProf != "" {
+		heapProfilePath = *memProf
+		defer finishProfiles()
+	}
+	traceEvents = *traceEv
+	artifactDir = *jsonDir
 
 	// An explicit -seed makes any value authoritative, including 0
 	// (which would otherwise alias the default 42).
@@ -54,6 +79,7 @@ func main() {
 	expOpts := experiments.Options{
 		Out: os.Stdout, Quick: *quick,
 		Seed: *seed, SeedSet: seedSet, Jobs: *jobs,
+		JSONDir: *jsonDir,
 	}
 
 	switch {
@@ -89,7 +115,59 @@ func main() {
 	}
 }
 
+// Profiling and artifact state shared by the runner helpers. fatal
+// exits with os.Exit (skipping defers), so it flushes the profiles
+// explicitly; finishProfiles is idempotent to allow both paths.
+var (
+	stopCPUProfile  func()
+	heapProfilePath string
+	traceEvents     int
+	artifactDir     string
+)
+
+func finishProfiles() {
+	if stopCPUProfile != nil {
+		stopCPUProfile()
+		stopCPUProfile = nil
+	}
+	if heapProfilePath != "" {
+		path := heapProfilePath
+		heapProfilePath = ""
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "compresso-sim:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // settle allocations so the heap profile reflects live data
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "compresso-sim:", err)
+		}
+	}
+}
+
+// runPayload is the -json payload for ad-hoc runs: the raw result
+// plus the flattened registry snapshot (stable metric names, the form
+// perf tracking diffs against).
+type runPayload struct {
+	Result  any          `json:"result"`
+	Metrics obs.Snapshot `json:"metrics"`
+}
+
+// writeRunArtifact serializes an ad-hoc run result under -json DIR.
+func writeRunArtifact(kind, name string, data any) {
+	if artifactDir == "" {
+		return
+	}
+	path, err := obs.WriteArtifact(artifactDir, obs.Artifact{Kind: kind, Name: name, Data: data})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("wrote", path)
+}
+
 func fatal(err error) {
+	finishProfiles()
 	fmt.Fprintln(os.Stderr, "compresso-sim:", err)
 	os.Exit(1)
 }
@@ -113,6 +191,7 @@ func runCapacity(bench string, frac float64, ops uint64, scale int, seed uint64)
 	cfg.FootprintScale = scale
 	cfg.Seed = seed
 	out := capacity.Evaluate(prof, cfg)
+	writeRunArtifact("capacity", fmt.Sprintf("%s_%.0f", prof.Name, frac*100), out)
 	fmt.Printf("%s at %.0f%% of footprint (%d MB scaled):\n",
 		prof.Name, frac*100, out.FootprintB>>20)
 	tbl := stats.NewTable("system", "rel-perf", "faults", "mean-ratio")
@@ -123,7 +202,8 @@ func runCapacity(bench string, frac float64, ops uint64, scale int, seed uint64)
 	tbl.Render(os.Stdout)
 }
 
-// robustify applies the -inject / -audit-every flags to a sim config.
+// robustify applies the -inject / -audit-every / -trace-events flags
+// to a sim config.
 func robustify(cfg *sim.Config, spec string, auditEvery uint64) {
 	fc, err := faults.ParseSpec(spec, cfg.Seed)
 	if err != nil {
@@ -131,6 +211,7 @@ func robustify(cfg *sim.Config, spec string, auditEvery uint64) {
 	}
 	cfg.Inject = fc
 	cfg.AuditEvery = auditEvery
+	cfg.TraceEvents = traceEvents
 }
 
 // printRobustness reports what the injector and auditor did, when
@@ -175,6 +256,8 @@ func runMixCLI(name string, ops uint64, scale int, seed uint64, inject string, a
 		robustify(&cfg, inject, auditEvery)
 		res := sim.RunMix(mix.Name, profs, cfg)
 		last = res
+		writeRunArtifact("mix", mix.Name+"_"+res.System,
+			runPayload{Result: res, Metrics: res.Registry().Snapshot()})
 		if s == sim.Uncompressed {
 			base = res
 			tbl.AddRow(res.System, 1.0, res.Ratio, res.Mem.RelativeExtra())
@@ -214,6 +297,8 @@ func runBench(bench, system string, ops uint64, scale int, seed uint64, compare 
 		robustify(&cfg, inject, auditEvery)
 		res := sim.RunSingle(prof, cfg)
 		last = res
+		writeRunArtifact("bench", prof.Name+"_"+res.System,
+			runPayload{Result: res, Metrics: res.Registry().Snapshot()})
 		if s == sim.Uncompressed {
 			base = res.Cycles
 		}

@@ -15,6 +15,8 @@ package audit
 import (
 	"fmt"
 	"strings"
+
+	"compresso/internal/obs"
 )
 
 // Scope selects how deep an audit digs.
@@ -184,6 +186,12 @@ func (o Outcome) String() string {
 	return fmt.Sprintf("%d audits: %d violations, %d repaired", o.Runs, o.Violations, o.Repaired)
 }
 
+// Register records the tallies into r under prefix (canonically
+// "audit").
+func (o Outcome) Register(r *obs.Registry, prefix string) {
+	r.AddStruct(prefix, o)
+}
+
 // Runner triggers repairing structural audits every fixed number of
 // demand operations, accumulating an Outcome and keeping the first
 // few non-clean reports for diagnosis.
@@ -208,14 +216,18 @@ func NewRunner(target Auditable, every uint64) *Runner {
 	return &Runner{target: target, every: every}
 }
 
-// Tick advances one demand operation, auditing (with repair) when due.
-func (r *Runner) Tick() {
+// Tick advances one demand operation, auditing (with repair) when
+// due, and returns the report of the audit that ran (nil otherwise) so
+// callers can timestamp an audit-run trace event.
+func (r *Runner) Tick() *Report {
 	r.since++
 	if r.since < r.every {
-		return
+		return nil
 	}
 	r.since = 0
-	r.note(r.target.Audit(Structural, true))
+	rep := r.target.Audit(Structural, true)
+	r.note(rep)
+	return &rep
 }
 
 // Final runs the end-of-run audit at the given scope (with repair) and

@@ -9,7 +9,11 @@
 // writeback stream.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"compresso/internal/obs"
+)
 
 // LineSize is the cache line size in bytes.
 const LineSize = 64
@@ -31,6 +35,16 @@ func (s Stats) MissRate() float64 {
 		return 0
 	}
 	return float64(s.Misses) / float64(s.Accesses())
+}
+
+// Register records the counters into r under prefix (canonically the
+// cache's name, e.g. "cache.l3"), plus the derived miss-rate gauge
+// when the cache saw traffic.
+func (s Stats) Register(r *obs.Registry, prefix string) {
+	r.AddStruct(prefix, s)
+	if s.Accesses() > 0 {
+		r.Gauge(prefix + ".miss_rate").Set(s.MissRate())
+	}
 }
 
 type way struct {

@@ -9,6 +9,7 @@ import (
 	"compresso/internal/memctl"
 	"compresso/internal/metadata"
 	"compresso/internal/mpa"
+	"compresso/internal/obs"
 )
 
 // pageState is the controller-side state of one OSPA page: the
@@ -57,6 +58,11 @@ type Controller struct {
 
 	// inj is the fault injector (nil disables injection entirely).
 	inj *faults.Injector
+	// tr records controller events (nil disables tracing entirely);
+	// tnow is the cycle of the in-flight demand access, the timestamp
+	// every event of that access carries.
+	tr   *obs.Tracer
+	tnow uint64
 	// corrupt marks OSPA lines whose stored compressed bits were hit
 	// by an injected flip: the stored copy no longer matches the
 	// authoritative LineSource until a writeback or repair replaces it.
@@ -116,6 +122,9 @@ func (c *Controller) ResetStats() {
 	c.stats = memctl.Stats{}
 	c.mdc.ResetStats()
 }
+
+// SetTracer installs the controller-event tracer (nil disables).
+func (c *Controller) SetTracer(t *obs.Tracer) { c.tr = t }
 
 // GlobalPredictorValue exposes the 3-bit global predictor for tests.
 func (c *Controller) GlobalPredictorValue() uint8 { return c.global.Value() }
@@ -288,6 +297,8 @@ func (c *Controller) resizePage(ps *pageState, newChunks int) {
 				if _, ok := c.chunks.Alloc(); !ok {
 					// Exhausted memory cannot leak further.
 					c.stats.InjectedFaults--
+				} else {
+					c.tr.Emit(c.tnow, obs.EvInjectedFault, obs.NoPage, uint64(faults.ChunkDrop))
 				}
 			}
 			if cur > 0 && c.inj.Roll(faults.ChunkDup) {
@@ -295,6 +306,7 @@ func (c *Controller) resizePage(ps *pageState, newChunks int) {
 				// previous chunk pointer instead of a fresh allocation,
 				// double-referencing one chunk.
 				c.stats.InjectedFaults++
+				c.tr.Emit(c.tnow, obs.EvInjectedFault, obs.NoPage, uint64(faults.ChunkDup))
 				ps.meta.MPFN[cur] = ps.meta.MPFN[cur-1]
 				cur++
 				continue
@@ -351,6 +363,7 @@ func (c *Controller) lookupMetadata(now uint64, page uint64) (*metadata.Line, ui
 		if ev, ok := c.mdc.ForcedMiss(page); ok {
 			c.stats.InjectedFaults++
 			c.stats.ForcedMDMisses++
+			c.tr.Emit(now, obs.EvInjectedFault, page, uint64(faults.MDCacheMiss))
 			c.handleEvictions(now, []metadata.Evicted{ev})
 		}
 	}
@@ -430,6 +443,7 @@ func (c *Controller) storeBacking(page uint64) {
 	c.pages[page].meta.Pack(c.backing[page*metadata.EntrySize:])
 	if c.inj.Roll(faults.MetaBitFlip) {
 		c.stats.InjectedFaults++
+		c.tr.Emit(c.tnow, obs.EvInjectedFault, page, uint64(faults.MetaBitFlip))
 		c.inj.FlipBit(c.backing[page*metadata.EntrySize : (page+1)*metadata.EntrySize])
 	}
 }
@@ -516,6 +530,7 @@ func (c *Controller) ReadLine(now uint64, lineAddr uint64) memctl.Result {
 	c.checkPage(page)
 	c.pin(page)
 	defer c.unpin()
+	c.tnow = now
 	c.stats.DemandReads++
 
 	l, mdDone := c.lookupMetadata(now, page)
@@ -564,6 +579,7 @@ func (c *Controller) WriteLine(now uint64, lineAddr uint64, data []byte) memctl.
 	}
 	c.pin(page)
 	defer c.unpin()
+	c.tnow = now
 	c.stats.DemandWrites++
 
 	l, mdDone := c.lookupMetadata(now, page)
@@ -590,7 +606,7 @@ func (c *Controller) WriteLine(now uint64, lineAddr uint64, data []byte) memctl.
 		c.zeroToCompressed(mdDone, ps, l, page, line, newCode)
 	case !ps.meta.Compressed:
 		c.accessSpan(mdDone, ps, line*memctl.LineBytes, memctl.LineBytes, true)
-		c.noteUnderOverflow(l, oldActual, newCode)
+		c.noteUnderOverflow(page, l, oldActual, newCode)
 		ps.actual[line] = newCode
 		c.updateFreeSpace(ps)
 		l.Dirty = true
@@ -602,6 +618,7 @@ func (c *Controller) WriteLine(now uint64, lineAddr uint64, data []byte) memctl.
 		// stored copy no longer matches the authoritative source until
 		// the next writeback or an audit repair replaces it.
 		c.stats.InjectedFaults++
+		c.tr.Emit(now, obs.EvInjectedFault, page, uint64(faults.DataBitFlip))
 		c.corrupt[lineAddr] = struct{}{}
 	}
 	return memctl.Result{Done: now}
@@ -623,9 +640,10 @@ func (c *Controller) lineStoresBytes(ps *pageState, line int) bool {
 	return c.cfg.Bins.SizeOf(int(ps.actual[line])) > 0
 }
 
-func (c *Controller) noteUnderOverflow(l *metadata.Line, oldCode, newCode uint8) {
+func (c *Controller) noteUnderOverflow(page uint64, l *metadata.Line, oldCode, newCode uint8) {
 	if newCode < oldCode {
 		c.stats.LineUnderflows++
+		c.tr.Emit(c.tnow, obs.EvLineUnderflow, page, uint64(newCode))
 		l.BumpPredictor(false)
 	}
 }
@@ -660,14 +678,14 @@ func (c *Controller) writeCompressed(now, mdDone uint64, ps *pageState, l *metad
 
 	if pos, ok := ps.meta.IsInflated(line); ok {
 		// Inflation-room slots are a full line: no overflow possible.
-		c.noteUnderOverflow(l, oldActual, newCode)
+		c.noteUnderOverflow(page, l, oldActual, newCode)
 		ps.actual[line] = newCode
 		c.accessSpan(mdDone, ps, c.irOffset(ps, pos), memctl.LineBytes, true)
 		return
 	}
 	slot := ps.meta.LineSizeCode[line]
 	if newCode <= slot {
-		c.noteUnderOverflow(l, oldActual, newCode)
+		c.noteUnderOverflow(page, l, oldActual, newCode)
 		ps.actual[line] = newCode
 		size := c.cfg.Bins.SizeOf(int(newCode))
 		if size == 0 {
@@ -682,6 +700,7 @@ func (c *Controller) writeCompressed(now, mdDone uint64, ps *pageState, l *metad
 
 	// Cache-line overflow (§IV, Fig. 1c).
 	c.stats.LineOverflows++
+	c.tr.Emit(c.tnow, obs.EvLineOverflow, page, uint64(line))
 	l.BumpPredictor(true)
 	ps.actual[line] = newCode
 	c.ensureFull(mdDone, page, l)
@@ -690,6 +709,7 @@ func (c *Controller) writeCompressed(now, mdDone uint64, ps *pageState, l *metad
 	// to an uncompressed page.
 	if c.cfg.PredictOverflows && l.PredictorHigh() && c.global.High() {
 		c.stats.Predictions++
+		c.tr.Emit(c.tnow, obs.EvPrediction, page, uint64(line))
 		c.uncompressPage(now, ps, l)
 		c.accessSpan(mdDone, ps, line*memctl.LineBytes, memctl.LineBytes, true)
 		return
@@ -703,6 +723,7 @@ func (c *Controller) writeCompressed(now, mdDone uint64, ps *pageState, l *metad
 	// an aggressively decayed one never).
 	if c.tryInflate(ps, line) {
 		c.stats.IRPlacements++
+		c.tr.Emit(c.tnow, obs.EvIRPlacement, page, uint64(line))
 		c.irDecay++
 		if c.irDecay%8 == 0 {
 			c.global.Record(false)
@@ -721,6 +742,7 @@ func (c *Controller) writeCompressed(now, mdDone uint64, ps *pageState, l *metad
 		int(ps.meta.InflatedCount) < metadata.MaxInflated &&
 		c.pageSizeAllowed(ps.meta.Chunks()+1) {
 		c.stats.IRExpansions++
+		c.tr.Emit(c.tnow, obs.EvIRExpansion, page, uint64(ps.meta.Chunks()+1))
 		c.resizePage(ps, ps.meta.Chunks()+1)
 		if !c.tryInflate(ps, line) {
 			panic("core: IR expansion failed to make room")

@@ -3,6 +3,7 @@ package core
 import (
 	"compresso/internal/memctl"
 	"compresso/internal/metadata"
+	"compresso/internal/obs"
 )
 
 // relocatePage rewrites the page's layout: every non-zero line is read
@@ -66,6 +67,7 @@ func (c *Controller) relocatePage(now uint64, ps *pageState, newChunks int, unco
 // OS-aware LCP baseline.
 func (c *Controller) pageOverflow(now uint64, ps *pageState, l *metadata.Line, page uint64, line int) {
 	c.stats.PageOverflows++
+	c.tr.Emit(now, obs.EvPageOverflow, page, uint64(line))
 	// Page overflows are the expensive event prediction exists to
 	// avoid: arm the global predictor faster than IR placements decay
 	// it.
@@ -101,6 +103,7 @@ func (c *Controller) maybeRepack(now uint64, page uint64) {
 	if fresh == 0 {
 		// Every line is zero now: the page needs no storage at all.
 		c.stats.Repacks++
+		c.tr.Emit(now, obs.EvRepack, page, 0)
 		c.resizePage(ps, 0)
 		ps.meta.Zero = true
 		ps.meta.Compressed = true
@@ -123,9 +126,11 @@ func (c *Controller) maybeRepack(now uint64, page uint64) {
 		// The free space is real but not worth a page move yet:
 		// cheap abort, metadata-only.
 		c.stats.RepackAborts++
+		c.tr.Emit(now, obs.EvRepackAbort, page, uint64(need))
 		return
 	}
 	c.stats.Repacks++
+	c.tr.Emit(now, obs.EvRepack, page, uint64(need))
 	c.relocatePage(now, ps, need, false, -1, &c.stats.RepackAccesses)
 	// A successful repack is the system recovering compressibility:
 	// relax the global overflow predictor.

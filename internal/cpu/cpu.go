@@ -11,6 +11,7 @@ package cpu
 import (
 	"compresso/internal/cache"
 	"compresso/internal/memctl"
+	"compresso/internal/obs"
 	"compresso/internal/workload"
 )
 
@@ -59,6 +60,15 @@ func (s Stats) IPC() float64 {
 	return float64(s.Instrs) / float64(s.Cycles)
 }
 
+// Register records the counters into r under prefix (canonically
+// "cpu"), plus the derived IPC gauge when the core ran.
+func (s Stats) Register(r *obs.Registry, prefix string) {
+	r.AddStruct(prefix, s)
+	if s.Cycles > 0 {
+		r.Gauge(prefix + ".ipc").Set(s.IPC())
+	}
+}
+
 type outstanding struct {
 	done    uint64
 	atInstr uint64
@@ -79,6 +89,10 @@ type Core struct {
 	lineBuf [memctl.LineBytes]byte
 	// leftover fractional issue cycles, in instruction units.
 	issueDebt int
+	// cycleBase is the cycle of the last ResetStats: reported Cycles
+	// (and hence IPC) cover only the post-reset window, matching the
+	// memory-side warmup reset.
+	cycleBase uint64
 }
 
 // New builds a core. src supplies line values for dirty writebacks.
@@ -92,11 +106,23 @@ func New(cfg Config, hier *cache.Hierarchy, ctl memctl.Controller, src memctl.Li
 // Now returns the core's current cycle.
 func (c *Core) Now() uint64 { return c.now }
 
-// Stats returns a copy of the counters, with Cycles up to date.
+// Stats returns a copy of the counters, with Cycles up to date. After
+// a ResetStats, every counter — including Cycles — covers only the
+// post-reset window.
 func (c *Core) Stats() Stats {
 	s := c.stats
-	s.Cycles = c.now
+	s.Cycles = c.now - c.cycleBase
 	return s
+}
+
+// ResetStats zeroes the execution counters at end of warmup without
+// touching the core's clock, ROB window or issue state. The local time
+// base moves to the current cycle so IPC is computed over the same
+// post-warmup window as the controller/DRAM/cache stats (which the
+// simulator resets at the same moment).
+func (c *Core) ResetStats() {
+	c.stats = Stats{}
+	c.cycleBase = c.now
 }
 
 // Step executes one trace operation.

@@ -6,6 +6,7 @@ import (
 	"compresso/internal/compress"
 	"compresso/internal/memctl"
 	"compresso/internal/metadata"
+	"compresso/internal/obs"
 )
 
 // lzLatency is the added decompression latency for a cold (LZ) block
@@ -267,6 +268,7 @@ func (c *Controller) WriteLine(now uint64, lineAddr uint64, data []byte) memctl.
 	p.actual[line] = newCode
 	if newCode < old {
 		c.stats.LineUnderflows++
+		c.tr.Emit(now, obs.EvLineUnderflow, page, uint64(newCode))
 	}
 
 	if p.cold {
@@ -282,6 +284,7 @@ func (c *Controller) WriteLine(now uint64, lineAddr uint64, data []byte) memctl.
 		}
 		if p.blockBytes[b] > oldBytes {
 			c.stats.LineOverflows++
+			c.tr.Emit(now, obs.EvLineOverflow, page, uint64(line))
 			c.rewriteColdPage(now, p, &moves)
 		} else {
 			writes := p.blockBytes[b] / memctl.LineBytes
@@ -329,9 +332,11 @@ func (c *Controller) WriteLine(now uint64, lineAddr uint64, data []byte) memctl.
 	}
 	// Overflow into the exception region or page rewrite.
 	c.stats.LineOverflows++
+	c.tr.Emit(now, obs.EvLineOverflow, page, uint64(line))
 	if c.hotPageBytes(p)+memctl.LineBytes <= p.chunks*metadata.ChunkSize {
 		p.exc = append(p.exc, line)
 		c.stats.IRPlacements++
+		c.tr.Emit(now, obs.EvIRPlacement, page, uint64(line))
 		off := metadata.LinesPerPage*tb + (len(p.exc)-1)*memctl.LineBytes
 		c.mem.Access(mdDone, c.dataMachineLine(p, off), true)
 		c.stats.DataWrites++
@@ -339,6 +344,7 @@ func (c *Controller) WriteLine(now uint64, lineAddr uint64, data []byte) memctl.
 		return memctl.Result{Done: now}
 	}
 	c.stats.PageOverflows++
+	c.tr.Emit(now, obs.EvPageOverflow, page, uint64(line))
 	c.rewriteHotPage(now, page, p)
 	l.Dirty = true
 	return memctl.Result{Done: now}

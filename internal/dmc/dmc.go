@@ -20,6 +20,7 @@ import (
 	"compresso/internal/memctl"
 	"compresso/internal/metadata"
 	"compresso/internal/mpa"
+	"compresso/internal/obs"
 )
 
 // Config parameterizes the DMC baseline.
@@ -128,6 +129,11 @@ type Controller struct {
 	blockComp     [LZBlockBytes]byte
 	pinned        uint64
 	hasPinned     bool
+
+	// tr records controller events (nil disables tracing). DMC event
+	// sites all run inside the demand access, so events carry the
+	// access cycle directly.
+	tr *obs.Tracer
 }
 
 var _ memctl.Controller = (*Controller)(nil)
@@ -178,6 +184,9 @@ func (c *Controller) ResetStats() {
 	c.stats = memctl.Stats{}
 	c.mdc.ResetStats()
 }
+
+// SetTracer installs the controller-event tracer (nil disables).
+func (c *Controller) SetTracer(t *obs.Tracer) { c.tr = t }
 
 // MetadataCacheStats returns the metadata cache counters.
 func (c *Controller) MetadataCacheStats() metadata.CacheStats { return c.mdc.Stats() }

@@ -11,6 +11,8 @@
 // compressed (denser) data — without a full command scheduler.
 package dram
 
+import "compresso/internal/obs"
+
 // Config describes one memory subsystem. Timings are in memory-bus
 // clock cycles (1333 MHz for DDR4-2666); the simulator converts to core
 // cycles with CoreClocksPerMemClock.
@@ -57,6 +59,15 @@ type Stats struct {
 
 // Accesses returns the total number of accesses.
 func (s Stats) Accesses() uint64 { return s.Reads + s.Writes }
+
+// Register records the counters into r under prefix (canonically
+// "dram"), plus the derived row-hit-rate gauge when traffic exists.
+func (s Stats) Register(r *obs.Registry, prefix string) {
+	r.AddStruct(prefix, s)
+	if acts := s.RowHits + s.RowMisses + s.RowConflicts; acts > 0 {
+		r.Gauge(prefix + ".row_hit_rate").Set(float64(s.RowHits) / float64(acts))
+	}
+}
 
 type bank struct {
 	openRow int64 // -1 when precharged

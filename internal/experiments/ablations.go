@@ -62,7 +62,7 @@ func AbBinsData(opt Options) []AbBinsRow {
 	})
 }
 
-func runAbBins(opt Options) error {
+func runAbBins(opt Options) (any, error) {
 	rows := AbBinsData(opt)
 	header(opt.Out, "Ablation §IV-A1: number of line bins and page sizes")
 	tbl := stats.NewTable("bench", "ratio:8bins", "ratio:4bins", "ovf:8bins", "ovf:4bins",
@@ -82,7 +82,7 @@ func runAbBins(opt Options) error {
 	tbl.AddRow("Average", stats.Mean(r8), stats.Mean(r4), o8, o4, stats.Mean(p8), stats.Mean(p4), "", "")
 	tbl.Render(opt.Out)
 	fmt.Fprintf(opt.Out, "\npaper: 8 line bins 1.82 vs 4 bins 1.59 ratio, +17.5%% overflows; 8 page sizes 1.85 vs 4 sizes 1.59\n")
-	return nil
+	return rows, nil
 }
 
 // AbAlignRow quantifies §IV-B1: alignment-friendly line sizes trade
@@ -123,7 +123,7 @@ func AbAlignData(opt Options) []AbAlignRow {
 	})
 }
 
-func runAbAlign(opt Options) error {
+func runAbAlign(opt Options) (any, error) {
 	rows := AbAlignData(opt)
 	header(opt.Out, "Ablation §IV-B1: alignment-friendly line sizes (0/8/32/64 vs 0/22/44/64)")
 	tbl := stats.NewTable("bench", "split:legacy", "split:aligned", "ratio:legacy", "ratio:aligned")
@@ -138,7 +138,7 @@ func runAbAlign(opt Options) error {
 	tbl.AddRow("Average", stats.Mean(sl), stats.Mean(sa), stats.Mean(rl), stats.Mean(ra))
 	tbl.Render(opt.Out)
 	fmt.Fprintf(opt.Out, "\npaper: split lines 30.9%% -> 3.2%%, compression loss just 0.25%%\n")
-	return nil
+	return rows, nil
 }
 
 // BPCVariantRow compares Compresso's best-of-transform BPC against the
@@ -182,7 +182,7 @@ func BPCVariantsData(opt Options) []BPCVariantRow {
 	})
 }
 
-func runBPCVariants(opt Options) error {
+func runBPCVariants(opt Options) (any, error) {
 	rows := BPCVariantsData(opt)
 	header(opt.Out, "§II-A: Compresso's best-of-transform BPC vs always-transform BPC")
 	tbl := stats.NewTable("bench", "bestof-bytes", "baseline-bytes", "saving")
@@ -194,7 +194,7 @@ func runBPCVariants(opt Options) error {
 	tbl.AddRow("Average", "", "", stats.Mean(savings))
 	tbl.Render(opt.Out)
 	fmt.Fprintf(opt.Out, "\npaper: the modification saves an average of 13%% more memory than baseline BPC\n")
-	return nil
+	return rows, nil
 }
 
 func init() {

@@ -84,7 +84,7 @@ func TestParallelDeterminism(t *testing.T) {
 			opt := quickOpts()
 			opt.Out = &buf
 			opt.Jobs = jobs
-			if err := e.Run(opt); err != nil {
+			if _, err := e.Run(opt); err != nil {
 				t.Fatalf("%s (jobs=%d): %v", e.Name, jobs, err)
 			}
 			out[e.Name] = buf.String()
@@ -126,17 +126,17 @@ func TestRunAllDeterministicOrder(t *testing.T) {
 	for i := 0; i < 6; i++ {
 		name := fmt.Sprintf("exp-%d", i)
 		delay := time.Duration(5-i) * time.Millisecond // later names finish first
-		register(name, "synthetic", func(opt Options) error {
+		register(name, "synthetic", func(opt Options) (any, error) {
 			time.Sleep(delay)
 			fmt.Fprintf(opt.Out, "[%s] body\n", name)
-			return nil
+			return nil, nil
 		})
 	}
-	register("exp-err", "always fails", func(opt Options) error {
+	register("exp-err", "always fails", func(opt Options) (any, error) {
 		fmt.Fprintln(opt.Out, "[exp-err] partial output")
-		return fmt.Errorf("deliberate failure")
+		return nil, fmt.Errorf("deliberate failure")
 	})
-	register("exp-panic", "always panics", func(Options) error { panic("deliberate panic") })
+	register("exp-panic", "always panics", func(Options) (any, error) { panic("deliberate panic") })
 
 	run := func(jobs int) (string, error) {
 		var buf bytes.Buffer

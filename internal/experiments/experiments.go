@@ -12,6 +12,7 @@ import (
 	"io"
 	"sort"
 
+	"compresso/internal/obs"
 	"compresso/internal/parallel"
 )
 
@@ -33,6 +34,11 @@ type Options struct {
 	// rendered output is byte-identical for every Jobs value at the
 	// same seed (see DESIGN.md §7 for the determinism contract).
 	Jobs int
+	// JSONDir, when non-empty, receives one deterministic JSON
+	// artifact per experiment (the obs envelope, kind "experiment"):
+	// the structured rows behind the rendered tables. Files are
+	// byte-identical across Jobs values (DESIGN.md §8).
+	JSONDir string
 }
 
 // ops and scale return the trace length and footprint divisor for the
@@ -62,12 +68,15 @@ func (o Options) seed() uint64 {
 type Experiment struct {
 	Name string
 	Desc string
-	Run  func(Options) error
+	// Run renders the experiment to opt.Out and returns the structured
+	// rows behind the tables — the JSON artifact payload (nil for
+	// prose-only artifacts, which produce no JSON file).
+	Run func(Options) (any, error)
 }
 
 var registry = map[string]Experiment{}
 
-func register(name, desc string, run func(Options) error) {
+func register(name, desc string, run func(Options) (any, error)) {
 	registry[name] = Experiment{Name: name, Desc: desc, Run: run}
 }
 
@@ -95,6 +104,19 @@ func Run(name string, opt Options) error {
 		return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, names)
 	}
 	return runRecovering(e, opt)
+}
+
+// writeArtifact serializes one experiment's payload into opt.JSONDir.
+func writeArtifact(opt Options, name string, data any) error {
+	if opt.JSONDir == "" || data == nil {
+		return nil
+	}
+	_, err := obs.WriteArtifact(opt.JSONDir, obs.Artifact{
+		Kind: "experiment",
+		Name: name,
+		Data: data,
+	})
+	return err
 }
 
 // RunAll executes every registered experiment. Experiments run
@@ -134,7 +156,11 @@ func runRecovering(e Experiment, opt Options) (err error) {
 			err = fmt.Errorf("experiments: %s panicked: %v", e.Name, r)
 		}
 	}()
-	return e.Run(opt)
+	data, err := e.Run(opt)
+	if err != nil {
+		return err
+	}
+	return writeArtifact(opt, e.Name, data)
 }
 
 func header(w io.Writer, title string) {

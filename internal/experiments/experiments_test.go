@@ -37,7 +37,7 @@ func TestRunUnknown(t *testing.T) {
 }
 
 func TestRunRecoversPanic(t *testing.T) {
-	register("test-panic", "always panics", func(Options) error { panic("boom") })
+	register("test-panic", "always panics", func(Options) (any, error) { panic("boom") })
 	defer delete(registry, "test-panic")
 	err := Run("test-panic", quickOpts())
 	if err == nil {
@@ -176,7 +176,7 @@ func TestRunnersRender(t *testing.T) {
 		var buf bytes.Buffer
 		opt := quickOpts()
 		opt.Out = &buf
-		if err := e.Run(opt); err != nil {
+		if _, err := e.Run(opt); err != nil {
 			t.Fatalf("%s: %v", e.Name, err)
 		}
 		if buf.Len() < 100 || !strings.Contains(buf.String(), "===") {

@@ -71,10 +71,10 @@ func Fig11Data(opt Options) ([]Fig11Row, error) {
 	})
 }
 
-func runFig11a(opt Options) error {
+func runFig11a(opt Options) (any, error) {
 	rows, err := Fig11Data(opt)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	header(opt.Out, "Fig. 11a: 4-core cycle-based and memory-capacity relative performance")
 	tbl := stats.NewTable("mix",
@@ -98,13 +98,13 @@ func runFig11a(opt Options) error {
 	tbl.Render(opt.Out)
 	fmt.Fprintf(opt.Out, "\npaper cycle averages: LCP 0.90, LCP+Align 0.95, Compresso 0.975\n")
 	fmt.Fprintf(opt.Out, "paper mem-cap averages: LCP 1.97, Compresso 2.33, unconstrained 2.51\n")
-	return nil
+	return rows, nil
 }
 
-func runFig11b(opt Options) error {
+func runFig11b(opt Options) (any, error) {
 	rows, err := Fig11Data(opt)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	header(opt.Out, "Fig. 11b: 4-core overall performance (cycle x capacity)")
 	tbl := stats.NewTable("mix", "lcp", "lcp-align", "compresso", "unconstrained")
@@ -121,7 +121,7 @@ func runFig11b(opt Options) error {
 		stats.Geomean(overall[2]), stats.Geomean(unc))
 	tbl.Render(opt.Out)
 	fmt.Fprintf(opt.Out, "\npaper: LCP 1.78, LCP+Align 1.90, Compresso 2.27 (Compresso beats LCP by 27.5%%)\n")
-	return nil
+	return rows, nil
 }
 
 func init() {

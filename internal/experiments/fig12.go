@@ -49,7 +49,7 @@ func Fig12Data(opt Options) []Fig12Row {
 	return rows
 }
 
-func runFig12(opt Options) error {
+func runFig12(opt Options) (any, error) {
 	rows := Fig12Data(opt)
 	header(opt.Out, "Fig. 12: energy relative to the uncompressed system")
 	tbl := stats.NewTable("bench", "dram:lcp", "dram:lcp-align", "dram:compresso", "core:compresso")
@@ -65,7 +65,7 @@ func runFig12(opt Options) error {
 	tbl.AddRow("Average", stats.Mean(d[0]), stats.Mean(d[1]), stats.Mean(d[2]), stats.Mean(c))
 	tbl.Render(opt.Out)
 	fmt.Fprintf(opt.Out, "\npaper: Compresso cuts DRAM energy 11%% vs uncompressed, 60%% more savings than LCP; core energy equal\n")
-	return nil
+	return rows, nil
 }
 
 func init() {

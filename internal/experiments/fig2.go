@@ -69,7 +69,7 @@ func ratio(fp, store int64) float64 {
 	return float64(fp) / float64(store)
 }
 
-func runFig2(opt Options) error {
+func runFig2(opt Options) (any, error) {
 	rows := Fig2Data(opt)
 	header(opt.Out, "Fig. 2: Compression ratio, {BPC,BDI} x {LinePack,LCP-packing}")
 	tbl := stats.NewTable("bench", "bpc+linepack", "bpc+lcp", "bdi+linepack", "bdi+lcp")
@@ -86,7 +86,7 @@ func runFig2(opt Options) error {
 	fmt.Fprintf(opt.Out,
 		"\nLCP-packing loss vs LinePack: BPC %.1f%% (paper: 13%%), BDI %.1f%% (paper: 2.3%%)\n",
 		100*(1-stats.Mean(b)/stats.Mean(a)), 100*(1-stats.Mean(d)/stats.Mean(c)))
-	return nil
+	return rows, nil
 }
 
 func init() {

@@ -84,7 +84,7 @@ func Fig4Data(opt Options) []Fig4Row {
 	})
 }
 
-func runFig4(opt Options) error {
+func runFig4(opt Options) (any, error) {
 	rows := Fig4Data(opt)
 	header(opt.Out, "Fig. 4: extra data movement of the unoptimized compressed system (relative to demand accesses)")
 	tbl := stats.NewTable("bench", "fix:split", "fix:overflow", "fix:meta", "fix:total",
@@ -99,7 +99,7 @@ func runFig4(opt Options) error {
 	tbl.AddRow("Average", "", "", "", stats.Mean(fixTotal), "", "", "", stats.Mean(varTotal))
 	tbl.Render(opt.Out)
 	fmt.Fprintf(opt.Out, "\npaper: 63%% average extra accesses for the competitive baseline\n")
-	return nil
+	return rows, nil
 }
 
 // Fig6Stages are the cumulative optimization stages of Fig. 6.
@@ -171,7 +171,7 @@ func Fig6Data(opt Options) []Fig6Row {
 	return rows
 }
 
-func runFig6(opt Options) error {
+func runFig6(opt Options) (any, error) {
 	rows := Fig6Data(opt)
 	header(opt.Out, "Fig. 6: extra accesses as data-movement optimizations are applied cumulatively")
 	cols := append([]string{"bench"}, Fig6Stages...)
@@ -196,7 +196,7 @@ func runFig6(opt Options) error {
 	fmt.Fprintln(opt.Out, "\naverage extra accesses per optimization stage:")
 	figures.Bar{Width: 44, Format: "%.3f"}.Render(opt.Out, Fig6Stages, avgVals)
 	fmt.Fprintf(opt.Out, "\npaper staircase: 63%% -> 36%% -> 26%% -> 19%% -> 15%% (repacking adds 1.8%%)\n")
-	return nil
+	return rows, nil
 }
 
 func init() {

@@ -45,7 +45,7 @@ func Fig7Data(opt Options) []Fig7Row {
 	})
 }
 
-func runFig7(opt Options) error {
+func runFig7(opt Options) (any, error) {
 	rows := Fig7Data(opt)
 	header(opt.Out, "Fig. 7: compression-ratio loss without dynamic repacking")
 	tbl := stats.NewTable("bench", "with-repack", "no-repack", "relative")
@@ -57,7 +57,7 @@ func runFig7(opt Options) error {
 	tbl.AddRow("Average", "", "", stats.Mean(rel))
 	tbl.Render(opt.Out)
 	fmt.Fprintf(opt.Out, "\npaper: ~24%% of storage benefits squandered without repacking\n")
-	return nil
+	return rows, nil
 }
 
 // Fig9Series is one benchmark's per-interval compressibility together
@@ -128,10 +128,10 @@ func abs(x float64) float64 {
 	return x
 }
 
-func runFig9(opt Options) error {
+func runFig9(opt Options) (any, error) {
 	series, err := Fig9Data(opt)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	header(opt.Out, "Fig. 9: SimPoint vs CompressPoint compressibility representativeness")
 	for _, s := range series {
@@ -143,7 +143,7 @@ func runFig9(opt Options) error {
 			s.TrueMean, s.SimPointEst, s.SimPointErr, s.CompPointEst, s.CompPointErr)
 	}
 	fmt.Fprintf(opt.Out, "\npaper: SimPoints misrepresent compressibility on phased benchmarks; CompressPoints track it\n")
-	return nil
+	return series, nil
 }
 
 func init() {

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"compresso/internal/obs"
+	"compresso/internal/sim"
+	"compresso/internal/workload"
+)
+
+// TestResultArtifactRoundTrip is the golden-JSON contract for ad-hoc
+// runs: a Result encodes deterministically, unmarshals back equal,
+// and its headline values match what the text tables render.
+func TestResultArtifactRoundTrip(t *testing.T) {
+	prof, err := workload.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig(sim.Compresso)
+	cfg.Ops = 20_000
+	cfg.FootprintScale = 16
+	cfg.Seed = 42
+	cfg.TraceEvents = 64
+	res := sim.RunSingle(prof, cfg)
+
+	art := obs.Artifact{Kind: "bench", Name: "gcc_compresso", Data: res}
+	buf, err := obs.Encode(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf2, err := obs.Encode(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, buf2) {
+		t.Fatal("encoding the same artifact twice produced different bytes")
+	}
+
+	var env struct {
+		Schema string     `json:"schema"`
+		Kind   string     `json:"kind"`
+		Name   string     `json:"name"`
+		Data   sim.Result `json:"data"`
+	}
+	if err := json.Unmarshal(buf, &env); err != nil {
+		t.Fatalf("artifact does not unmarshal: %v", err)
+	}
+	if env.Schema != obs.SchemaV1 || env.Kind != "bench" || env.Name != "gcc_compresso" {
+		t.Fatalf("envelope mismatch: %+v", env)
+	}
+	if !reflect.DeepEqual(env.Data, res) {
+		t.Fatalf("Result did not round-trip:\n got %+v\nwant %+v", env.Data, res)
+	}
+
+	// The table cell for the ratio is the %.3f rendering of the same
+	// value the artifact carries.
+	if got := fmt.Sprintf("%.3f", env.Data.Ratio); got != fmt.Sprintf("%.3f", res.Ratio) {
+		t.Fatalf("ratio render mismatch: %s", got)
+	}
+}
+
+// TestExperimentArtifactJobsIdentical pins the PR's determinism
+// contract onto the JSON layer: the artifact an experiment writes is
+// byte-identical at Jobs=1 and Jobs=8, its payload unmarshals back to
+// the experiment's own rows, and the rendered table shows the same
+// values.
+func TestExperimentArtifactJobsIdentical(t *testing.T) {
+	render := func(jobs int) ([]byte, string) {
+		resetMemos()
+		dir := t.TempDir()
+		var out bytes.Buffer
+		opt := quickOpts()
+		opt.Out = &out
+		opt.Jobs = jobs
+		opt.JSONDir = dir
+		if err := Run("fig2", opt); err != nil {
+			t.Fatalf("fig2 (jobs=%d): %v", jobs, err)
+		}
+		buf, err := os.ReadFile(filepath.Join(dir, obs.ArtifactFileName("experiment", "fig2")))
+		if err != nil {
+			t.Fatalf("fig2 (jobs=%d) wrote no artifact: %v", jobs, err)
+		}
+		return buf, out.String()
+	}
+	serial, serialOut := render(1)
+	par, parOut := render(8)
+	if !bytes.Equal(serial, par) {
+		t.Fatal("fig2 artifact differs between Jobs=1 and Jobs=8")
+	}
+	if serialOut != parOut {
+		t.Fatal("fig2 rendered output differs between Jobs=1 and Jobs=8")
+	}
+
+	var env struct {
+		Data []Fig2Row `json:"data"`
+	}
+	if err := json.Unmarshal(serial, &env); err != nil {
+		t.Fatalf("fig2 artifact does not unmarshal: %v", err)
+	}
+	resetMemos()
+	want := Fig2Data(quickOpts())
+	if !reflect.DeepEqual(env.Data, want) {
+		t.Fatalf("fig2 artifact rows differ from Fig2Data:\n got %+v\nwant %+v", env.Data, want)
+	}
+	// Spot-check the rendered table against the artifact values.
+	for _, r := range env.Data[:3] {
+		cell := fmt.Sprintf("%.3f", r.BPCLinePack)
+		if !strings.Contains(serialOut, cell) {
+			t.Fatalf("rendered fig2 table lacks %s=%s for %s", "bpc-linepack", cell, r.Bench)
+		}
+	}
+}
+
+// TestProseExperimentWritesNoArtifact pins the nil-data contract:
+// prose-only experiments (tab1/tab5 return structured rows, so use a
+// synthetic runner) produce no JSON file rather than an empty one.
+func TestProseExperimentWritesNoArtifact(t *testing.T) {
+	register("test-prose", "prose only", func(opt Options) (any, error) {
+		fmt.Fprintln(opt.Out, "words")
+		return nil, nil
+	})
+	defer delete(registry, "test-prose")
+	dir := t.TempDir()
+	opt := quickOpts()
+	opt.JSONDir = dir
+	if err := Run("test-prose", opt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, obs.ArtifactFileName("experiment", "test-prose"))); !os.IsNotExist(err) {
+		t.Fatalf("prose experiment wrote an artifact (stat err %v)", err)
+	}
+}

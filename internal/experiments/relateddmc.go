@@ -67,10 +67,10 @@ func RelatedDMCData(opt Options) ([]DMCRow, error) {
 	})
 }
 
-func runRelatedDMC(opt Options) error {
+func runRelatedDMC(opt Options) (any, error) {
 	rows, err := RelatedDMCData(opt)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	header(opt.Out, "Related work (§VIII): MXT / DMC style baselines vs Compresso")
 	tbl := stats.NewTable("bench", "mxt:perf", "dmc:perf", "compresso:perf",
@@ -86,7 +86,7 @@ func runRelatedDMC(opt Options) error {
 	tbl.AddRow("Geomean", stats.Geomean(mp), stats.Geomean(dp), stats.Geomean(cp), "", "", "", "", "")
 	tbl.Render(opt.Out)
 	fmt.Fprintf(opt.Out, "\npaper §VIII: DMC's granularity switching \"can potentially increase the data movement\"\n")
-	return nil
+	return rows, nil
 }
 
 func init() {

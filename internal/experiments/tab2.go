@@ -92,10 +92,10 @@ func Tab2Data(opt Options) ([]Tab2Cell, error) {
 	return cells, nil
 }
 
-func runTab2(opt Options) error {
+func runTab2(opt Options) (any, error) {
 	cells, err := Tab2Data(opt)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	header(opt.Out, "Tab. II: speedup vs constrained-memory baseline at 80/70/60% of footprint")
 	tbl := stats.NewTable("memory", "cores", "lcp", "compresso", "unconstrained")
@@ -104,7 +104,7 @@ func runTab2(opt Options) error {
 	}
 	tbl.Render(opt.Out)
 	fmt.Fprintf(opt.Out, "\npaper @70%%: 1-core LCP 1.11 / Compresso 1.29 / unconstrained 1.39; 4-core 1.97 / 2.33 / 2.51\n")
-	return nil
+	return cells, nil
 }
 
 func init() {

@@ -52,7 +52,7 @@ func Tab5() []Tab5Row {
 	}
 }
 
-func runTab1(opt Options) error {
+func runTab1(opt Options) (any, error) {
 	header(opt.Out, "Tab. I: OS-aware vs OS-transparent compression challenges")
 	tbl := stats.NewTable("challenge to deal with", "os-aware", "os-transparent")
 	yn := func(b bool) string {
@@ -67,10 +67,10 @@ func runTab1(opt Options) error {
 	tbl.Render(opt.Out)
 	fmt.Fprintln(opt.Out, "\nCompresso solves the last two rows without OS support: ballooning (§V-B)")
 	fmt.Fprintln(opt.Out, "for overcommitment, aggressive repacking (§IV-B4) instead of free-page zeroing.")
-	return nil
+	return Tab1(), nil
 }
 
-func runTab5(opt Options) error {
+func runTab5(opt Options) (any, error) {
 	header(opt.Out, "Tab. V: related-work summary")
 	tbl := stats.NewTable("system", "os-transparent", "hw-changes", "granularity", "line-packing", "dm-opts")
 	for _, r := range Tab5() {
@@ -78,7 +78,7 @@ func runTab5(opt Options) error {
 	}
 	tbl.Render(opt.Out)
 	fmt.Fprintln(opt.Out, "\nquantified counterparts in this repo: LCP (-exp fig10a), DMC/MXT (-exp related-dmc)")
-	return nil
+	return Tab5(), nil
 }
 
 func init() {

@@ -20,6 +20,7 @@ import (
 	"strconv"
 	"strings"
 
+	"compresso/internal/obs"
 	"compresso/internal/rng"
 )
 
@@ -170,6 +171,19 @@ func (t Totals) String() string {
 	}
 	return fmt.Sprintf("%s (dram %d reads / %d writes observed)",
 		strings.Join(parts, ", "), t.DRAMReads, t.DRAMWrites)
+}
+
+// Register records per-site opportunity/injection counters and the
+// DRAM exposure tallies into r under prefix (canonically "faults"):
+// faults.<site>.opportunities, faults.<site>.injected,
+// faults.dram_reads, faults.dram_writes.
+func (t Totals) Register(r *obs.Registry, prefix string) {
+	for s := Site(0); s < NSites; s++ {
+		r.Counter(prefix + "." + s.String() + ".opportunities").Set(t.Sites[s].Opportunities)
+		r.Counter(prefix + "." + s.String() + ".injected").Set(t.Sites[s].Injected)
+	}
+	r.Counter(prefix + ".dram_reads").Set(t.DRAMReads)
+	r.Counter(prefix + ".dram_writes").Set(t.DRAMWrites)
 }
 
 // Injector decides, deterministically, whether each fault opportunity

@@ -25,6 +25,7 @@ import (
 	"compresso/internal/memctl"
 	"compresso/internal/metadata"
 	"compresso/internal/mpa"
+	"compresso/internal/obs"
 )
 
 // Config parameterizes the LCP controller.
@@ -126,6 +127,11 @@ type Controller struct {
 	compBuf       [memctl.LineBytes]byte
 	lineBuf       [memctl.LineBytes]byte
 	name          string
+
+	// tr records controller events (nil disables tracing). Every LCP
+	// event site runs inside the demand access, so events carry the
+	// access cycle directly.
+	tr *obs.Tracer
 }
 
 var _ memctl.Controller = (*Controller)(nil)
@@ -167,6 +173,9 @@ func (c *Controller) ResetStats() {
 	c.stats = memctl.Stats{}
 	c.mdc.ResetStats()
 }
+
+// SetTracer installs the controller-event tracer (nil disables).
+func (c *Controller) SetTracer(t *obs.Tracer) { c.tr = t }
 
 // MetadataCacheStats returns the metadata cache's counters.
 func (c *Controller) MetadataCacheStats() metadata.CacheStats { return c.mdc.Stats() }
@@ -450,6 +459,7 @@ func (c *Controller) WriteLine(now uint64, lineAddr uint64, data []byte) memctl.
 	p.actual[line] = newCode
 	if newCode < old {
 		c.stats.LineUnderflows++
+		c.tr.Emit(now, obs.EvLineUnderflow, page, uint64(newCode))
 	}
 
 	if slot, ok := p.excSlot(line); ok {
@@ -472,9 +482,11 @@ func (c *Controller) WriteLine(now uint64, lineAddr uint64, data []byte) memctl.
 
 	// Overflow: the line no longer fits the target.
 	c.stats.LineOverflows++
+	c.tr.Emit(now, obs.EvLineOverflow, page, uint64(line))
 	if c.pageBytes(p)+memctl.LineBytes <= p.chunks*metadata.ChunkSize {
 		p.exc = append(p.exc, line)
 		c.stats.IRPlacements++
+		c.tr.Emit(now, obs.EvIRPlacement, page, uint64(line))
 		c.writeSpan(mdDone, p, c.excOffset(p, len(p.exc)-1), memctl.LineBytes)
 		l.Dirty = true
 		return memctl.Result{Done: now}
@@ -482,16 +494,18 @@ func (c *Controller) WriteLine(now uint64, lineAddr uint64, data []byte) memctl.
 
 	// Page overflow: OS-aware LCP takes a page fault; the OS allocates
 	// a bigger (possibly retargeted) page and copies the data.
-	done := c.pageFaultOverflow(now, p, line)
+	done := c.pageFaultOverflow(now, p, page, line)
 	l.Dirty = true
 	return memctl.Result{Done: done}
 }
 
 // pageFaultOverflow relocates the page with a freshly chosen target,
 // charging the OS fault penalty plus the copy traffic.
-func (c *Controller) pageFaultOverflow(now uint64, p *lcpPage, line int) uint64 {
+func (c *Controller) pageFaultOverflow(now uint64, p *lcpPage, page uint64, line int) uint64 {
 	c.stats.PageOverflows++
 	c.stats.PageFaults++
+	c.tr.Emit(now, obs.EvPageOverflow, page, uint64(line))
+	c.tr.Emit(now, obs.EvPageFault, page, uint64(line))
 
 	// Read every non-zero line from the old layout.
 	var moves uint64

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"compresso/internal/dram"
+	"compresso/internal/obs"
 )
 
 // LineBytes is the demand access granularity.
@@ -124,6 +125,16 @@ func (s Stats) RelativeExtra() float64 {
 		return 0
 	}
 	return float64(s.ExtraAccesses()) / float64(s.DemandAccesses())
+}
+
+// Register records every counter into r under prefix (canonically
+// "memctl"), plus the derived relative-extra-access gauge when demand
+// traffic exists (DESIGN.md §8 naming scheme).
+func (s Stats) Register(r *obs.Registry, prefix string) {
+	r.AddStruct(prefix, s)
+	if s.DemandAccesses() > 0 {
+		r.Gauge(prefix + ".relative_extra").Set(s.RelativeExtra())
+	}
 }
 
 // Controller is the OSPA-facing memory controller interface.

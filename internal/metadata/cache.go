@@ -1,6 +1,11 @@
 package metadata
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+
+	"compresso/internal/obs"
+)
 
 // CacheConfig sizes the memory-controller metadata cache. The paper
 // uses a 96 KB 8-way cache (≥ second-level TLB reach, §IV-B5) so that
@@ -74,12 +79,24 @@ type CacheStats struct {
 // Accesses returns hits+misses.
 func (s CacheStats) Accesses() uint64 { return s.Hits + s.Misses }
 
-// HitRate returns the hit ratio (1 when there were no accesses).
+// HitRate returns the hit ratio. A cache that saw no accesses (an
+// uncompressed run has no metadata) has no meaningful rate and returns
+// NaN; renderers report it as "n/a" rather than a perfect cache.
 func (s CacheStats) HitRate() float64 {
 	if s.Accesses() == 0 {
-		return 1
+		return math.NaN()
 	}
 	return float64(s.Hits) / float64(s.Accesses())
+}
+
+// Register records the counters into r under prefix (canonically
+// "mdcache"), plus the derived hit-rate gauge when the cache saw
+// traffic (a gauge is never NaN; zero-access runs omit it).
+func (s CacheStats) Register(r *obs.Registry, prefix string) {
+	r.AddStruct(prefix, s)
+	if s.Accesses() > 0 {
+		r.Gauge(prefix + ".hit_rate").Set(s.HitRate())
+	}
 }
 
 type cacheSet struct {

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// SchemaV1 identifies the artifact envelope documented in DESIGN.md §8.
+// Consumers dispatch on it; bump only with a documented migration.
+const SchemaV1 = "compresso/artifact/v1"
+
+// Artifact is the envelope every JSON file the harness emits shares:
+// a schema tag, the artifact's kind and name, and the kind-specific
+// payload. Encoding is deterministic — struct fields emit in
+// declaration order, maps in sorted-key order — so the same run
+// produces byte-identical files regardless of worker count.
+type Artifact struct {
+	Schema string      `json:"schema"`
+	Kind   string      `json:"kind"` // "bench" | "mix" | "experiment" | "capacity"
+	Name   string      `json:"name"`
+	Data   interface{} `json:"data"`
+}
+
+// Encode renders the artifact as indented JSON with a trailing
+// newline. Non-finite floats anywhere in Data are an error (guard with
+// a gauge or an explicit n/a before encoding).
+func Encode(a Artifact) ([]byte, error) {
+	if a.Schema == "" {
+		a.Schema = SchemaV1
+	}
+	buf, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("obs: encoding artifact %s/%s: %w", a.Kind, a.Name, err)
+	}
+	return append(buf, '\n'), nil
+}
+
+// WriteArtifact encodes a into dir/<kind>_<name>.json (creating dir)
+// and returns the written path.
+func WriteArtifact(dir string, a Artifact) (string, error) {
+	buf, err := Encode(a)
+	if err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("obs: creating artifact dir: %w", err)
+	}
+	path := filepath.Join(dir, ArtifactFileName(a.Kind, a.Name))
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return "", fmt.Errorf("obs: writing artifact: %w", err)
+	}
+	return path, nil
+}
+
+// ArtifactFileName returns the canonical file name for an artifact,
+// with path-hostile runes replaced.
+func ArtifactFileName(kind, name string) string {
+	return sanitize(kind) + "_" + sanitize(name) + ".json"
+}
+
+func sanitize(s string) string {
+	out := []byte(s)
+	for i, c := range out {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+		default:
+			out[i] = '-'
+		}
+	}
+	if len(out) == 0 {
+		return "unnamed"
+	}
+	return string(out)
+}

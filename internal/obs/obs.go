@@ -1,0 +1,338 @@
+// Package obs is the simulator's observability layer: a typed metrics
+// registry with stable names and snapshot/delta semantics, a bounded
+// ring-buffer event tracer for controller events, and the deterministic
+// JSON artifact envelope every runner serializes into (DESIGN.md §8).
+//
+// The package is a leaf: it imports nothing from the rest of the tree,
+// so every subsystem (memctl, metadata, cache, dram, cpu, faults,
+// audit) can register its counters without import cycles. Everything
+// here is deterministic by construction — no clocks, no map-order
+// dependence — so two runs with the same seed produce byte-identical
+// artifacts regardless of worker count (the DESIGN.md §7 contract).
+package obs
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// Kind classifies a registered metric.
+type Kind int
+
+// The metric kinds.
+const (
+	KindCounter   Kind = iota // monotonic uint64
+	KindGauge                 // float64 level (derived rates, ratios)
+	KindHistogram             // integer-bucketed distribution
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Counter is a monotonic uint64 metric.
+type Counter struct{ v uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Set overwrites the counter (used when registering a completed run's
+// accumulated stat struct rather than counting live).
+func (c *Counter) Set(n uint64) { c.v = n }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Gauge is a float64 level metric. NaN and Inf are rejected (they do
+// not serialize to JSON); callers express "no meaningful value" by not
+// registering the gauge at all.
+type Gauge struct{ v float64 }
+
+// Set overwrites the gauge.
+func (g *Gauge) Set(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		panic(fmt.Sprintf("obs: gauge set to non-finite value %v", v))
+	}
+	g.v = v
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Histogram counts observations into integer buckets (page sizes in
+// chunks, bin codes, latency classes — whatever the caller keys by).
+type Histogram struct {
+	counts map[int]uint64
+	total  uint64
+}
+
+// Observe adds one sample to bucket b.
+func (h *Histogram) Observe(b int) { h.ObserveN(b, 1) }
+
+// ObserveN adds n samples to bucket b.
+func (h *Histogram) ObserveN(b int, n uint64) {
+	if h.counts == nil {
+		h.counts = make(map[int]uint64)
+	}
+	h.counts[b] += n
+	h.total += n
+}
+
+// Total returns the number of samples observed.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Count returns the count in bucket b.
+func (h *Histogram) Count(b int) uint64 { return h.counts[b] }
+
+// Registry holds metrics under stable dotted snake_case names such as
+// "memctl.demand_reads" (see DESIGN.md §8 for the naming scheme). Not
+// safe for concurrent use; each simulation run owns its registry.
+type Registry struct {
+	names    []string // registration order (for iteration stability)
+	kinds    map[string]Kind
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		kinds:    make(map[string]Kind),
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// checkName validates the stable-name grammar: dot-separated
+// snake_case segments, lowercase alphanumerics only.
+func checkName(name string) {
+	if name == "" {
+		panic("obs: empty metric name")
+	}
+	for _, seg := range strings.Split(name, ".") {
+		if seg == "" {
+			panic(fmt.Sprintf("obs: metric name %q has an empty segment", name))
+		}
+		for _, r := range seg {
+			if !(r == '_' || r >= 'a' && r <= 'z' || r >= '0' && r <= '9') {
+				panic(fmt.Sprintf("obs: metric name %q: invalid rune %q", name, r))
+			}
+		}
+	}
+}
+
+func (r *Registry) claim(name string, kind Kind) {
+	checkName(name)
+	if have, ok := r.kinds[name]; ok {
+		if have != kind {
+			panic(fmt.Sprintf("obs: metric %q registered as both %s and %s", name, have, kind))
+		}
+		return
+	}
+	r.kinds[name] = kind
+	r.names = append(r.names, name)
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. Re-registering under a different kind panics.
+func (r *Registry) Counter(name string) *Counter {
+	r.claim(name, KindCounter)
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.claim(name, KindGauge)
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.claim(name, KindHistogram)
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// KindOf returns the kind registered under name.
+func (r *Registry) KindOf(name string) (Kind, bool) {
+	k, ok := r.kinds[name]
+	return k, ok
+}
+
+// Names returns every registered name in sorted order.
+func (r *Registry) Names() []string {
+	out := append([]string(nil), r.names...)
+	sort.Strings(out)
+	return out
+}
+
+// AddStruct registers every exported uint64 field of v as a counter
+// and every exported float64 field as a gauge, under
+// prefix.snake_case(FieldName). Other field types are skipped; v may
+// be a struct or a pointer to one. This is how the stat structs of
+// memctl, dram, cpu, metadata, cache and audit flow into the registry
+// with names derived mechanically from the source of truth.
+func (r *Registry) AddStruct(prefix string, v interface{}) {
+	rv := reflect.ValueOf(v)
+	for rv.Kind() == reflect.Ptr {
+		rv = rv.Elem()
+	}
+	if rv.Kind() != reflect.Struct {
+		panic(fmt.Sprintf("obs: AddStruct of non-struct %T", v))
+	}
+	rt := rv.Type()
+	for i := 0; i < rt.NumField(); i++ {
+		f := rt.Field(i)
+		if f.PkgPath != "" { // unexported
+			continue
+		}
+		name := prefix + "." + SnakeCase(f.Name)
+		switch f.Type.Kind() {
+		case reflect.Uint64:
+			r.Counter(name).Set(rv.Field(i).Uint())
+		case reflect.Float64:
+			r.Gauge(name).Set(rv.Field(i).Float())
+		}
+	}
+}
+
+// SnakeCase converts a Go exported identifier to the registry's
+// snake_case convention: "DemandReads" -> "demand_reads",
+// "IRPlacements" -> "ir_placements", "LoadsL1" -> "loads_l1".
+func SnakeCase(s string) string {
+	var b strings.Builder
+	runes := []rune(s)
+	for i, r := range runes {
+		if unicode.IsUpper(r) {
+			prevLower := i > 0 && !unicode.IsUpper(runes[i-1])
+			nextLower := i+1 < len(runes) && unicode.IsLower(runes[i+1])
+			if i > 0 && (prevLower || nextLower) {
+				b.WriteByte('_')
+			}
+			b.WriteRune(unicode.ToLower(r))
+		} else {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// HistSnapshot is a histogram's point-in-time state. Bucket keys are
+// decimal strings so the JSON object sorts lexically but parses back
+// losslessly.
+type HistSnapshot struct {
+	Total   uint64            `json:"total"`
+	Buckets map[string]uint64 `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of a registry's values, the unit
+// that serializes into artifacts. encoding/json emits map keys in
+// sorted order, so the encoding is deterministic.
+type Snapshot struct {
+	Counters map[string]uint64       `json:"counters,omitempty"`
+	Gauges   map[string]float64      `json:"gauges,omitempty"`
+	Hists    map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the registry's current values.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]uint64, len(r.counters))
+		for n, c := range r.counters {
+			s.Counters[n] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for n, g := range r.gauges {
+			s.Gauges[n] = g.Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Hists = make(map[string]HistSnapshot, len(r.hists))
+		for n, h := range r.hists {
+			hs := HistSnapshot{Total: h.total}
+			if len(h.counts) > 0 {
+				hs.Buckets = make(map[string]uint64, len(h.counts))
+				for b, c := range h.counts {
+					hs.Buckets[fmt.Sprint(b)] = c
+				}
+			}
+			s.Hists[n] = hs
+		}
+	}
+	return s
+}
+
+// Delta returns the change from prev to s: counters and histogram
+// buckets subtract (clamped at zero — a counter absent from prev
+// deltas from zero), gauges keep their current level (a rate has no
+// meaningful difference).
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	d := Snapshot{Gauges: s.Gauges}
+	if len(s.Counters) > 0 {
+		d.Counters = make(map[string]uint64, len(s.Counters))
+		for n, v := range s.Counters {
+			p := prev.Counters[n]
+			if p > v {
+				p = v
+			}
+			d.Counters[n] = v - p
+		}
+	}
+	if len(s.Hists) > 0 {
+		d.Hists = make(map[string]HistSnapshot, len(s.Hists))
+		for n, h := range s.Hists {
+			ph := prev.Hists[n]
+			dh := HistSnapshot{Total: h.Total}
+			if ph.Total > h.Total {
+				ph.Total = h.Total
+			}
+			dh.Total = h.Total - ph.Total
+			if len(h.Buckets) > 0 {
+				dh.Buckets = make(map[string]uint64, len(h.Buckets))
+				for b, c := range h.Buckets {
+					p := ph.Buckets[b]
+					if p > c {
+						p = c
+					}
+					dh.Buckets[b] = c - p
+				}
+			}
+			d.Hists[n] = dh
+		}
+	}
+	return d
+}

@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSnakeCase(t *testing.T) {
+	cases := map[string]string{
+		"DemandReads":    "demand_reads",
+		"IRPlacements":   "ir_placements",
+		"IRExpansions":   "ir_expansions",
+		"LoadsL1":        "loads_l1",
+		"LoadsMem":       "loads_mem",
+		"IPC":            "ipc",
+		"DRAMReads":      "dram_reads",
+		"ForcedMDMisses": "forced_md_misses",
+		"ZeroLineOps":    "zero_line_ops",
+		"Repacks":        "repacks",
+		"QueueCycles":    "queue_cycles",
+	}
+	for in, want := range cases {
+		if got := SnakeCase(in); got != want {
+			t.Errorf("SnakeCase(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRegistryTypedAccess(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.b")
+	c.Add(3)
+	if r.Counter("a.b") != c || c.Value() != 3 {
+		t.Fatalf("counter not stable across lookups")
+	}
+	g := r.Gauge("a.rate")
+	g.Set(0.5)
+	h := r.Histogram("a.dist")
+	h.Observe(2)
+	h.ObserveN(2, 4)
+	h.Observe(7)
+	if h.Total() != 6 || h.Count(2) != 5 {
+		t.Fatalf("histogram totals wrong: %d/%d", h.Total(), h.Count(2))
+	}
+	if k, _ := r.KindOf("a.rate"); k != KindGauge {
+		t.Fatalf("KindOf(a.rate) = %v", k)
+	}
+	want := []string{"a.b", "a.dist", "a.rate"}
+	if got := r.Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+}
+
+func TestRegistryKindConflictPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind conflict")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x.y")
+	r.Gauge("x.y")
+}
+
+func TestRegistryBadNamePanics(t *testing.T) {
+	for _, bad := range []string{"", "Upper.case", "a..b", "a b", "trailing."} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q: expected panic", bad)
+				}
+			}()
+			NewRegistry().Counter(bad)
+		}()
+	}
+}
+
+func TestGaugeRejectsNonFinite(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on NaN gauge")
+		}
+	}()
+	NewRegistry().Gauge("g").Set(0.0 / func() float64 { return 0 }())
+}
+
+func TestAddStruct(t *testing.T) {
+	type demo struct {
+		DemandReads uint64
+		HitRate     float64
+		Skipped     int // non-uint64/float64: ignored
+		hidden      uint64
+	}
+	_ = demo{hidden: 1}.hidden
+	r := NewRegistry()
+	r.AddStruct("m", demo{DemandReads: 7, HitRate: 0.25, Skipped: 9})
+	s := r.Snapshot()
+	if s.Counters["m.demand_reads"] != 7 {
+		t.Fatalf("counter missing: %+v", s.Counters)
+	}
+	if s.Gauges["m.hit_rate"] != 0.25 {
+		t.Fatalf("gauge missing: %+v", s.Gauges)
+	}
+	if _, ok := s.Counters["m.skipped"]; ok {
+		t.Fatal("int field should be skipped")
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	c.Add(10)
+	g.Set(1.5)
+	h.ObserveN(1, 4)
+	prev := r.Snapshot()
+	c.Add(5)
+	g.Set(2.5)
+	h.ObserveN(1, 1)
+	h.Observe(2)
+	d := r.Snapshot().Delta(prev)
+	if d.Counters["c"] != 5 {
+		t.Errorf("counter delta = %d, want 5", d.Counters["c"])
+	}
+	if d.Gauges["g"] != 2.5 {
+		t.Errorf("gauge delta keeps current: got %v", d.Gauges["g"])
+	}
+	if dh := d.Hists["h"]; dh.Total != 2 || dh.Buckets["1"] != 1 || dh.Buckets["2"] != 1 {
+		t.Errorf("hist delta = %+v", d.Hists["h"])
+	}
+	// A snapshot that went backwards (reset) clamps at zero.
+	if d2 := prev.Delta(r.Snapshot()); d2.Counters["c"] != 0 {
+		t.Errorf("backwards delta should clamp: %d", d2.Counters["c"])
+	}
+}
+
+func TestTracerRingBuffer(t *testing.T) {
+	tr := NewTracer(3)
+	for i := uint64(0); i < 5; i++ {
+		tr.Emit(i*10, EvRepack, i, i+1)
+	}
+	tc := tr.Trace()
+	if tc.Total != 5 || tc.Dropped != 2 || tc.Capacity != 3 {
+		t.Fatalf("trace accounting = %+v", tc)
+	}
+	if len(tc.Events) != 3 || tc.Events[0].Cycle != 20 || tc.Events[2].Cycle != 40 {
+		t.Fatalf("oldest-first order broken: %+v", tc.Events)
+	}
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	if NewTracer(0) != nil {
+		t.Fatal("capacity 0 should disable tracing")
+	}
+	tr.Emit(1, EvRepack, 0, 0) // must not panic
+	if tr.Enabled() || tr.Total() != 0 || len(tr.Trace().Events) != 0 {
+		t.Fatal("nil tracer leaked state")
+	}
+}
+
+func TestEventKindJSONRoundTrip(t *testing.T) {
+	for k := EventKind(0); k < NEventKinds; k++ {
+		buf, err := json.Marshal(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back EventKind
+		if err := json.Unmarshal(buf, &back); err != nil || back != k {
+			t.Fatalf("round trip of %v: got %v, err %v", k, back, err)
+		}
+	}
+	var k EventKind
+	if err := json.Unmarshal([]byte(`"no-such-kind"`), &k); err == nil {
+		t.Fatal("unknown kind should error")
+	}
+}
+
+func TestWriteArtifactDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	r := NewRegistry()
+	r.Counter("z.last").Set(1)
+	r.Counter("a.first").Set(2)
+	r.Gauge("m.rate").Set(0.125)
+	art := Artifact{Kind: "bench", Name: "gcc", Data: r.Snapshot()}
+	p1, err := WriteArtifact(dir, art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := WriteArtifact(filepath.Join(dir, "again"), art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := os.ReadFile(p1)
+	b2, _ := os.ReadFile(p2)
+	if string(b1) != string(b2) {
+		t.Fatal("same artifact encoded differently")
+	}
+	if !strings.HasSuffix(p1, "bench_gcc.json") {
+		t.Fatalf("unexpected artifact path %s", p1)
+	}
+	var back Artifact
+	if err := json.Unmarshal(b1, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != SchemaV1 || back.Kind != "bench" || back.Name != "gcc" {
+		t.Fatalf("envelope mangled: %+v", back)
+	}
+	// Map keys must appear sorted for byte-stability.
+	if strings.Index(string(b1), "a.first") > strings.Index(string(b1), "z.last") {
+		t.Fatal("counters not emitted in sorted order")
+	}
+}
+
+func TestArtifactFileNameSanitizes(t *testing.T) {
+	if got := ArtifactFileName("experiment", "fig10a"); got != "experiment_fig10a.json" {
+		t.Fatalf("got %q", got)
+	}
+	if got := ArtifactFileName("bench", "../etc/passwd"); strings.ContainsAny(got, "/.") && !strings.HasSuffix(got, ".json") {
+		t.Fatalf("unsafe name survived: %q", got)
+	}
+	if got := ArtifactFileName("bench", "../x"); got != "bench_---x.json" {
+		t.Fatalf("got %q", got)
+	}
+}

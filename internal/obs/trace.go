@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// EventKind classifies one traced controller event.
+type EventKind uint8
+
+// The traced event kinds. Arg carries kind-specific detail: the new
+// allocation in chunks for repacks and overflows, the fault site for
+// injected faults, the violation count for audit runs.
+const (
+	EvLineOverflow EventKind = iota
+	EvLineUnderflow
+	EvPageOverflow
+	EvIRPlacement
+	EvIRExpansion
+	EvRepack
+	EvRepackAbort
+	EvPrediction
+	EvPageFault
+	EvAuditRun
+	EvInjectedFault
+
+	// NEventKinds is the number of event kinds.
+	NEventKinds
+)
+
+var eventKindNames = [NEventKinds]string{
+	EvLineOverflow:  "line-overflow",
+	EvLineUnderflow: "line-underflow",
+	EvPageOverflow:  "page-overflow",
+	EvIRPlacement:   "ir-placement",
+	EvIRExpansion:   "ir-expansion",
+	EvRepack:        "repack",
+	EvRepackAbort:   "repack-abort",
+	EvPrediction:    "prediction",
+	EvPageFault:     "page-fault",
+	EvAuditRun:      "audit-run",
+	EvInjectedFault: "injected-fault",
+}
+
+// String names the kind.
+func (k EventKind) String() string {
+	if k >= NEventKinds {
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+	return eventKindNames[k]
+}
+
+// MarshalJSON encodes the kind as its stable name.
+func (k EventKind) MarshalJSON() ([]byte, error) {
+	if k >= NEventKinds {
+		return nil, fmt.Errorf("obs: cannot marshal EventKind(%d)", int(k))
+	}
+	return json.Marshal(k.String())
+}
+
+// UnmarshalJSON decodes a kind name.
+func (k *EventKind) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	for i, n := range eventKindNames {
+		if n == s {
+			*k = EventKind(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("obs: unknown event kind %q", s)
+}
+
+// NoPage marks an event not attributable to one OSPA page.
+const NoPage = ^uint64(0)
+
+// Event is one traced controller event, timestamped with the core
+// cycle at which the triggering demand access was issued.
+type Event struct {
+	Cycle uint64    `json:"cycle"`
+	Kind  EventKind `json:"kind"`
+	// Page is the OSPA page the event concerns (NoPage when global).
+	Page uint64 `json:"page"`
+	// Arg is kind-specific detail (see the kind constants).
+	Arg uint64 `json:"arg,omitempty"`
+}
+
+// String renders the event for logs.
+func (e Event) String() string {
+	where := "global"
+	if e.Page != NoPage {
+		where = fmt.Sprintf("page %d", e.Page)
+	}
+	return fmt.Sprintf("@%d %s %s arg=%d", e.Cycle, e.Kind, where, e.Arg)
+}
+
+// Tracer is a bounded ring buffer of controller events: the newest
+// `capacity` events are retained, older ones are dropped (counted, not
+// stored). A nil *Tracer is a complete no-op, so subsystems hook it in
+// unconditionally and tracing costs nothing when disabled. Not safe
+// for concurrent use.
+type Tracer struct {
+	buf   []Event
+	next  int
+	total uint64
+}
+
+// NewTracer returns a tracer retaining the newest capacity events, or
+// nil (tracing disabled) when capacity <= 0.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		return nil
+	}
+	return &Tracer{buf: make([]Event, 0, capacity)}
+}
+
+// Enabled reports whether events are being recorded.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Emit records one event (no-op on a nil tracer).
+func (t *Tracer) Emit(cycle uint64, kind EventKind, page, arg uint64) {
+	if t == nil {
+		return
+	}
+	e := Event{Cycle: cycle, Kind: kind, Page: page, Arg: arg}
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, e)
+	} else {
+		t.buf[t.next] = e
+		t.next = (t.next + 1) % len(t.buf)
+	}
+	t.total++
+}
+
+// Total returns the number of events emitted (retained or dropped).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.total
+}
+
+// Trace is a tracer's exportable state: the retained events in
+// emission order plus the drop accounting.
+type Trace struct {
+	Capacity int     `json:"capacity"`
+	Total    uint64  `json:"total"`
+	Dropped  uint64  `json:"dropped"`
+	Events   []Event `json:"events,omitempty"`
+}
+
+// Trace snapshots the retained events oldest-first. A nil tracer
+// returns the zero Trace.
+func (t *Tracer) Trace() Trace {
+	if t == nil {
+		return Trace{}
+	}
+	out := Trace{Capacity: cap(t.buf), Total: t.total}
+	out.Dropped = t.total - uint64(len(t.buf))
+	if len(t.buf) == 0 {
+		// Leave Events nil so a Trace JSON round-trips equal (omitempty
+		// drops an empty array, which would decode back as nil).
+		return out
+	}
+	out.Events = make([]Event, 0, len(t.buf))
+	out.Events = append(out.Events, t.buf[t.next:]...)
+	out.Events = append(out.Events, t.buf[:t.next]...)
+	return out
+}

@@ -19,6 +19,7 @@ import (
 	"compresso/internal/lcp"
 	"compresso/internal/memctl"
 	"compresso/internal/metadata"
+	"compresso/internal/obs"
 	"compresso/internal/workload"
 )
 
@@ -98,6 +99,10 @@ type Config struct {
 	// AuditEvery runs a repairing structural state audit every N demand
 	// operations on controllers that support it (0 disables auditing).
 	AuditEvery uint64
+
+	// TraceEvents bounds the run's controller-event ring buffer (0
+	// disables tracing; the last N events survive in Result.Trace).
+	TraceEvents int
 }
 
 // DefaultConfig returns the paper's Tab. III setup for the given
@@ -123,9 +128,14 @@ type Result struct {
 	Instrs uint64
 	IPC    float64
 
+	// CPU is the core's full counter set (Cycles/Instrs/IPC above are
+	// kept as headline fields for the experiment tables).
+	CPU cpu.Stats
+
 	Mem     memctl.Stats
 	Dram    dram.Stats
 	MDCache metadata.CacheStats
+	L3      cache.Stats
 
 	// Ratio is the end-of-run compression ratio (1 for uncompressed).
 	Ratio float64
@@ -136,6 +146,28 @@ type Result struct {
 	// (zero values when injection/auditing were off).
 	Faults faults.Totals
 	Audit  audit.Outcome
+
+	// Trace holds the run's controller-event ring-buffer contents
+	// (empty unless Config.TraceEvents > 0).
+	Trace obs.Trace
+}
+
+// Registry builds the run's metrics registry: every stat struct
+// registered under its DESIGN.md §8 prefix plus run-level gauges.
+func (r Result) Registry() *obs.Registry {
+	reg := obs.NewRegistry()
+	r.CPU.Register(reg, "cpu")
+	r.Mem.Register(reg, "memctl")
+	r.Dram.Register(reg, "dram")
+	r.MDCache.Register(reg, "mdcache")
+	r.L3.Register(reg, "cache.l3")
+	r.Faults.Register(reg, "faults")
+	r.Audit.Register(reg, "audit")
+	reg.Gauge("run.ratio").Set(r.Ratio)
+	if acc := r.L3.Accesses(); acc > 0 {
+		reg.Gauge("run.l3_miss_rate").Set(r.L3MissRate)
+	}
+	return reg
 }
 
 // mdStatser is implemented by the compressed controllers.
@@ -280,6 +312,7 @@ func RunSingle(prof workload.Profile, cfg Config) Result {
 	ctl, inj := buildController(cfg, cfg.System, prof.FootprintPages, mem, src)
 	img.InstallInto(ctl)
 	auditor := newAuditor(cfg, ctl)
+	tracer := attachTracer(cfg, ctl)
 
 	l3 := cache.New("l3", scaledL3Bytes(2<<20, cfg.FootprintScale), 16)
 	hier := cache.NewHierarchy(l3)
@@ -291,22 +324,43 @@ func RunSingle(prof workload.Profile, cfg Config) Result {
 		tr.Next(&op)
 		c.Step(&op)
 		if auditor != nil {
-			auditor.Tick()
+			if rep := auditor.Tick(); rep != nil {
+				tracer.Emit(c.Now(), obs.EvAuditRun, obs.NoPage, uint64(len(rep.Violations)))
+			}
 		}
 		if i+1 == warm {
-			resetAll(ctl, mem, hier)
+			resetAll(ctl, mem, c, hier)
 		}
 	}
 	c.Drain()
 
 	res := collect(prof.Name, cfg.System, c, ctl, mem, l3)
 	if auditor != nil {
-		auditor.Final(audit.Structural)
+		rep := auditor.Final(audit.Structural)
+		tracer.Emit(c.Now(), obs.EvAuditRun, obs.NoPage, uint64(len(rep.Violations)))
 		res.Audit = auditor.Outcome()
-		res.Mem = ctl.Stats() // pick up the final audit's counters
+		// Pick up the final audit's counters: the repair pass touches
+		// both the controller tallies and real DRAM traffic.
+		res.Mem = ctl.Stats()
+		res.Dram = mem.Stats()
 	}
 	res.Faults = inj.Totals()
+	res.Trace = tracer.Trace()
 	return res
+}
+
+// attachTracer builds the run's event tracer and installs it on
+// controllers that support tracing. A zero TraceEvents yields a nil
+// tracer, whose methods are all no-ops.
+func attachTracer(cfg Config, ctl memctl.Controller) *obs.Tracer {
+	tracer := obs.NewTracer(cfg.TraceEvents)
+	if tracer == nil {
+		return nil
+	}
+	if ts, ok := ctl.(interface{ SetTracer(*obs.Tracer) }); ok {
+		ts.SetTracer(tracer)
+	}
+	return tracer
 }
 
 func resetAll(ctl memctl.Controller, mem *dram.Memory, hiers ...interface{ ResetStats() }) {
@@ -324,8 +378,10 @@ func collect(bench string, sys System, c *cpu.Core, ctl memctl.Controller, mem *
 		Cycles: c.Stats().Cycles,
 		Instrs: c.Stats().Instrs,
 		IPC:    c.Stats().IPC(),
+		CPU:    c.Stats(),
 		Mem:    ctl.Stats(),
 		Dram:   mem.Stats(),
+		L3:     l3.Stats(),
 		Ratio:  memctl.CompressionRatio(ctl),
 	}
 	if ms, ok := ctl.(mdStatser); ok {
@@ -343,12 +399,34 @@ type MultiResult struct {
 	Cores   []Result
 	Mem     memctl.Stats
 	Dram    dram.Stats
+	MDCache metadata.CacheStats
 	Ratio   float64
 
 	// Faults and Audit summarize the robustness machinery's activity
 	// (zero values when injection/auditing were off).
 	Faults faults.Totals
 	Audit  audit.Outcome
+
+	// Trace holds the run's controller-event ring-buffer contents
+	// (empty unless Config.TraceEvents > 0).
+	Trace obs.Trace
+}
+
+// Registry builds the mix run's metrics registry: the shared memory
+// system under the canonical prefixes plus per-core CPU counters under
+// "coreN.cpu".
+func (m MultiResult) Registry() *obs.Registry {
+	reg := obs.NewRegistry()
+	m.Mem.Register(reg, "memctl")
+	m.Dram.Register(reg, "dram")
+	m.MDCache.Register(reg, "mdcache")
+	m.Faults.Register(reg, "faults")
+	m.Audit.Register(reg, "audit")
+	reg.Gauge("run.ratio").Set(m.Ratio)
+	for i, c := range m.Cores {
+		c.CPU.Register(reg, fmt.Sprintf("core%d.cpu", i))
+	}
+	return reg
 }
 
 // WeightedSpeedup computes the standard multi-core metric against a
@@ -411,6 +489,7 @@ func RunMix(mixName string, profs []workload.Profile, cfg Config) MultiResult {
 		}
 	}
 	auditor := newAuditor(cfg, ctl)
+	tracer := attachTracer(cfg, ctl)
 
 	// Shared L3: 8 MB for 4 cores (Tab. III), scaled by core count and
 	// footprint scale.
@@ -449,7 +528,9 @@ func RunMix(mixName string, profs []workload.Profile, cfg Config) MultiResult {
 		op.LineAddr += base[sel] * memctl.LinesPerPage
 		cores[sel].Step(&op)
 		if auditor != nil {
-			auditor.Tick()
+			if rep := auditor.Tick(); rep != nil {
+				tracer.Emit(cores[sel].Now(), obs.EvAuditRun, obs.NoPage, uint64(len(rep.Violations)))
+			}
 		}
 		done[sel]++
 		if !warmed {
@@ -460,9 +541,12 @@ func RunMix(mixName string, profs []workload.Profile, cfg Config) MultiResult {
 				}
 			}
 			if minDone >= warm {
-				rs := make([]interface{ ResetStats() }, len(hiers))
+				rs := make([]interface{ ResetStats() }, 0, len(hiers)+len(cores))
 				for i := range hiers {
-					rs[i] = hiers[i]
+					rs = append(rs, hiers[i])
+				}
+				for i := range cores {
+					rs = append(rs, cores[i])
 				}
 				resetAll(ctl, mem, rs...)
 				warmed = true
@@ -476,22 +560,35 @@ func RunMix(mixName string, profs []workload.Profile, cfg Config) MultiResult {
 		Dram:    mem.Stats(),
 		Ratio:   memctl.CompressionRatio(ctl),
 	}
+	if ms, ok := ctl.(mdStatser); ok {
+		out.MDCache = ms.MetadataCacheStats()
+	}
+	var lastNow uint64
 	for i := range cores {
 		cores[i].Drain()
+		if cores[i].Now() > lastNow {
+			lastNow = cores[i].Now()
+		}
 		r := Result{
 			Bench:  profs[i].Name,
 			System: cfg.System.String(),
 			Cycles: cores[i].Stats().Cycles,
 			Instrs: cores[i].Stats().Instrs,
 			IPC:    cores[i].Stats().IPC(),
+			CPU:    cores[i].Stats(),
 		}
 		out.Cores = append(out.Cores, r)
 	}
 	if auditor != nil {
-		auditor.Final(audit.Structural)
+		rep := auditor.Final(audit.Structural)
+		tracer.Emit(lastNow, obs.EvAuditRun, obs.NoPage, uint64(len(rep.Violations)))
 		out.Audit = auditor.Outcome()
-		out.Mem = ctl.Stats() // pick up the final audit's counters
+		// Pick up the final audit's counters: the repair pass touches
+		// both the controller tallies and real DRAM traffic.
+		out.Mem = ctl.Stats()
+		out.Dram = mem.Stats()
 	}
 	out.Faults = inj.Totals()
+	out.Trace = tracer.Trace()
 	return out
 }

@@ -118,13 +118,19 @@ func NewTable(header ...string) *Table {
 	return &Table{header: header}
 }
 
-// AddRow appends a row; cells may be any fmt-able values.
+// AddRow appends a row; cells may be any fmt-able values. A NaN float
+// renders as "n/a": it is the "no meaningful value" marker (e.g. the
+// metadata-cache hit rate of an uncompressed run).
 func (t *Table) AddRow(cells ...interface{}) {
 	row := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {
 		case float64:
-			row[i] = fmt.Sprintf("%.3f", v)
+			if math.IsNaN(v) {
+				row[i] = "n/a"
+			} else {
+				row[i] = fmt.Sprintf("%.3f", v)
+			}
 		case string:
 			row[i] = v
 		default:

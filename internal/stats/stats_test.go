@@ -105,3 +105,36 @@ func TestTableMixedTypes(t *testing.T) {
 		t.Error("float not formatted")
 	}
 }
+
+func TestTableRendersNaNAsNA(t *testing.T) {
+	tbl := NewTable("a", "b")
+	tbl.AddRow("row", math.NaN())
+	if !strings.Contains(tbl.String(), "n/a") {
+		t.Errorf("NaN cell not rendered as n/a:\n%s", tbl.String())
+	}
+}
+
+func TestPercentileEmptyInput(t *testing.T) {
+	for _, p := range []float64{-1, 0, 50, 100, 200} {
+		if got := Percentile(nil, p); got != 0 {
+			t.Errorf("Percentile(nil, %v) = %v, want 0", p, got)
+		}
+	}
+	// Single element: every percentile is that element.
+	if got := Percentile([]float64{7}, 50); got != 7 {
+		t.Errorf("Percentile([7], 50) = %v", got)
+	}
+}
+
+func TestHistogramEmptyEdges(t *testing.T) {
+	h := NewHistogram()
+	if h.Total() != 0 || h.Count(3) != 0 {
+		t.Fatal("empty histogram has samples")
+	}
+	if got := h.Frac(3); got != 0 {
+		t.Errorf("empty Frac = %v, want 0 (not NaN)", got)
+	}
+	if b := h.Buckets(); len(b) != 0 {
+		t.Errorf("empty Buckets = %v", b)
+	}
+}
