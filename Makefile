@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet fmt-check build test race fuzz bench-quick bench-json
+.PHONY: check vet fmt-check build test race fuzz bench-quick bench-json obs-smoke
 
-check: vet fmt-check build test race
+check: vet fmt-check build test race obs-smoke
 
 vet:
 	$(GO) vet ./...
@@ -28,7 +28,8 @@ test:
 # cells still cover every parallel.Map call site.
 race:
 	$(GO) test -race -timeout 20m ./internal/core/... ./internal/sim/... \
-		./internal/parallel/... ./internal/experiments/...
+		./internal/parallel/... ./internal/experiments/... \
+		./internal/progress/... ./internal/obshttp/...
 
 # Time one full quick-mode RunAll sweep serial vs parallel. The output
 # is byte-identical by contract; only the wall time should differ.
@@ -39,15 +40,44 @@ bench-quick:
 # Snapshot the perf-tracking baseline as BENCH_*.json artifacts
 # (DESIGN.md §8): a single-benchmark four-system comparison and one
 # Tab. IV mix, each carrying the full metrics-registry snapshot.
+# -json-summary drops the raw trace events from the committed files
+# (trace totals/drop counts survive); drop the flag for the full-trace
+# escape hatch when debugging a perf regression.
 bench-json:
 	@rm -rf .bench-json-tmp
 	$(GO) run ./cmd/compresso-sim -bench gcc -compare -ops 100000 -scale 8 \
-		-trace-events 1024 -json .bench-json-tmp > /dev/null
+		-trace-events 1024 -json-summary -json .bench-json-tmp > /dev/null
 	$(GO) run ./cmd/compresso-sim -mix mix1 -ops 50000 -scale 8 \
-		-trace-events 1024 -json .bench-json-tmp > /dev/null
+		-trace-events 1024 -json-summary -json .bench-json-tmp > /dev/null
 	@for f in .bench-json-tmp/*.json; do \
 		mv "$$f" "BENCH_$$(basename $$f)"; done; rm -rf .bench-json-tmp
 	@ls BENCH_*.json
+
+# Live-introspection smoke test: start a sweep with -serve, poll the
+# endpoints, and validate the /metrics exposition with the binary's
+# own -promcheck parser. Fails if any endpoint is unreachable or the
+# exposition is malformed.
+obs-smoke:
+	@rm -rf .obs-smoke; mkdir -p .obs-smoke
+	$(GO) build -o .obs-smoke/compresso-sim ./cmd/compresso-sim
+	@set -e; \
+	.obs-smoke/compresso-sim -exp all -serve 127.0.0.1:0 \
+		> .obs-smoke/out.log 2> .obs-smoke/err.log & \
+	pid=$$!; trap 'kill $$pid 2>/dev/null; rm -rf .obs-smoke' EXIT; \
+	addr=""; for i in $$(seq 1 50); do \
+		addr=$$(grep -oE '127\.0\.0\.1:[0-9]+' .obs-smoke/err.log | head -1); \
+		[ -n "$$addr" ] && break; sleep 0.2; \
+	done; \
+	[ -n "$$addr" ] || { echo "obs-smoke: server never announced an address"; cat .obs-smoke/err.log; exit 1; }; \
+	for i in $$(seq 1 50); do \
+		curl -sf "http://$$addr/healthz" > /dev/null && break; sleep 0.2; \
+	done; \
+	curl -sf "http://$$addr/healthz" | grep -q ok; \
+	curl -sf "http://$$addr/progress" | grep -q cells_total; \
+	curl -sf "http://$$addr/timeseries" | grep -q harness; \
+	curl -sf "http://$$addr/metrics" > .obs-smoke/metrics.txt; \
+	.obs-smoke/compresso-sim -promcheck .obs-smoke/metrics.txt; \
+	echo "obs-smoke: ok ($$addr)"
 
 # Longer fuzz of the controller invariants (the default corpus runs
 # as part of `test`).

@@ -12,9 +12,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 
 	"compresso/internal/audit"
 	"compresso/internal/capacity"
@@ -22,6 +24,9 @@ import (
 	"compresso/internal/faults"
 	"compresso/internal/memctl"
 	"compresso/internal/obs"
+	"compresso/internal/obshttp"
+	"compresso/internal/parallel"
+	"compresso/internal/progress"
 	"compresso/internal/sim"
 	"compresso/internal/stats"
 	"compresso/internal/workload"
@@ -44,11 +49,24 @@ func main() {
 		inject  = flag.String("inject", "", "fault-injection spec, e.g. bitflip:1e-6,mdmiss:1e-4 (sites: bitflip, metaflip, chunkdrop, chunkdup, mdmiss, tracetrunc)")
 		auditEv = flag.Uint64("audit-every", 0, "run a repairing state audit every N demand ops (0 disables)")
 		jsonDir = flag.String("json", "", "write JSON artifacts for every run/experiment into this directory")
-		traceEv = flag.Int("trace-events", 0, "retain the newest N controller events in the result trace (0 disables tracing)")
+		traceEv = flag.Int("trace-events", 0, "retain the newest N controller events in the result trace (omit to disable tracing)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
+		serve     = flag.String("serve", "", "serve live introspection (/metrics, /timeseries, /events, /progress, /healthz, pprof) on this address, e.g. 127.0.0.1:8080 (port 0 picks a free port)")
+		sampleEv  = flag.Uint64("sample-every", 0, "snapshot live run metrics every N demand ops into a windowed time series (0 disables; determinism-neutral)")
+		sampleWin = flag.Int("sample-windows", sim.DefaultSampleWindows, "retain the newest N sample windows")
+		progressF = flag.Bool("progress", false, "render a throttled progress line on stderr during experiment sweeps")
+		traceOut  = flag.String("trace-out", "", "write a Chrome/Perfetto trace-event JSON file (controller events + experiment cell spans) on exit")
+		jsonSum   = flag.Bool("json-summary", false, "shrink -json run artifacts: drop raw trace events, keep trace counts and all metrics")
+		promCheck = flag.String("promcheck", "", "validate a Prometheus text exposition file ('-' for stdin) and exit")
 	)
 	flag.Parse()
+
+	if *promCheck != "" {
+		runPromCheck(*promCheck)
+		return
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -67,19 +85,63 @@ func main() {
 	}
 	traceEvents = *traceEv
 	artifactDir = *jsonDir
+	sampleEvery = *sampleEv
+	sampleWindows = *sampleWin
+	summaryArtifacts = *jsonSum
 
 	// An explicit -seed makes any value authoritative, including 0
-	// (which would otherwise alias the default 42).
-	seedSet := false
+	// (which would otherwise alias the default 42); an explicit
+	// -trace-events must be a usable ring capacity.
+	seedSet, traceSet := false, false
 	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "seed" {
+		switch f.Name {
+		case "seed":
 			seedSet = true
+		case "trace-events":
+			traceSet = true
 		}
 	})
+	if err := validateTraceEvents(traceSet, *traceEv); err != nil {
+		fmt.Fprintln(os.Stderr, "compresso-sim:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	// Live-introspection sinks. All of them observe the run from the
+	// outside (snapshot copies, wall-clock spans); none feeds back into
+	// results, so artifacts are byte-identical with or without them
+	// (DESIGN.md §9).
+	var tracker *progress.Tracker
+	var term *progress.Terminal
+	if *serve != "" || *progressF || *traceOut != "" {
+		tracker = progress.NewTracker()
+	}
+	if *progressF {
+		term = progress.NewTerminal(tracker, os.Stderr)
+	}
+	var sinks []parallel.Progress
+	if tracker != nil {
+		sinks = append(sinks, tracker)
+	}
+	if *serve != "" {
+		server = obshttp.New(tracker)
+		addr, err := server.Start(*serve)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "compresso-sim: serving live introspection on http://%s\n", addr)
+		defer server.Close()
+		sinks = append(sinks, server)
+	}
+	if term != nil {
+		sinks = append(sinks, term)
+	}
+
 	expOpts := experiments.Options{
 		Out: os.Stdout, Quick: *quick,
 		Seed: *seed, SeedSet: seedSet, Jobs: *jobs,
-		JSONDir: *jsonDir,
+		JSONDir:  *jsonDir,
+		Progress: progress.Multi(sinks...),
 	}
 
 	switch {
@@ -113,16 +175,75 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	if term != nil {
+		term.Finish()
+	}
+	if *traceOut != "" {
+		writeTraceOut(*traceOut, tracker)
+	}
+}
+
+// validateTraceEvents rejects an explicitly-set non-positive
+// -trace-events value. Before this check, `-trace-events 0` and
+// negative values were silently swallowed: obs.NewTracer returns a
+// nil (no-op) tracer for any capacity <= 0, so a typo like
+// `-trace-events -100` recorded nothing without a diagnostic. Only
+// omitting the flag disables tracing now.
+func validateTraceEvents(set bool, n int) error {
+	if set && n <= 0 {
+		return fmt.Errorf("-trace-events must be a positive ring capacity (got %d); omit the flag to disable tracing", n)
+	}
+	return nil
+}
+
+// runPromCheck validates a Prometheus text exposition file (the
+// -promcheck mode used by `make obs-smoke`).
+func runPromCheck(path string) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	if err := obshttp.CheckExposition(r); err != nil {
+		fatal(fmt.Errorf("promcheck %s: %v", path, err))
+	}
+	fmt.Println("promcheck: ok")
+}
+
+// writeTraceOut exports the -trace-out Perfetto/Chrome trace: the last
+// run's controller events (pid 1, needs -trace-events) plus the
+// experiment grids' per-cell spans (pid 2).
+func writeTraceOut(path string, tracker *progress.Tracker) {
+	events := lastTrace.ChromeEvents(1)
+	if tracker != nil {
+		events = append(events, tracker.ChromeEvents(2)...)
+	}
+	if err := obs.WriteChromeTrace(path, events); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "compresso-sim: wrote trace %s (%d events)\n", path, len(events))
 }
 
 // Profiling and artifact state shared by the runner helpers. fatal
 // exits with os.Exit (skipping defers), so it flushes the profiles
 // explicitly; finishProfiles is idempotent to allow both paths.
 var (
-	stopCPUProfile  func()
-	heapProfilePath string
-	traceEvents     int
-	artifactDir     string
+	stopCPUProfile   func()
+	heapProfilePath  string
+	traceEvents      int
+	artifactDir      string
+	sampleEvery      uint64
+	sampleWindows    int
+	summaryArtifacts bool
+	server           *obshttp.Server
+	// lastTrace is the most recent run's controller-event trace, the
+	// pid-1 half of -trace-out.
+	lastTrace obs.Trace
 )
 
 func finishProfiles() {
@@ -214,6 +335,72 @@ func robustify(cfg *sim.Config, spec string, auditEvery uint64) {
 	cfg.TraceEvents = traceEvents
 }
 
+// attachLive wires the -sample-every time-series sampler into a run
+// config and, when -serve is active, feeds each sample to the live
+// server under the given run name.
+func attachLive(cfg *sim.Config, name string) {
+	cfg.SampleEvery = sampleEvery
+	cfg.SampleWindows = sampleWindows
+	if server != nil && cfg.SampleEvery > 0 {
+		server.AttachRun(name, cfg.SampleEvery)
+		cfg.OnSample = server.SampleRun
+	}
+}
+
+// publishRun pushes a finished run's snapshot and trace to the live
+// server and records the trace for -trace-out.
+func publishRun(name string, snap obs.Snapshot, trace obs.Trace) {
+	lastTrace = trace
+	if server != nil {
+		server.PublishRun(name, snap)
+		server.PublishTrace(trace)
+	}
+}
+
+// printObsSummary surfaces the observability layer's end-of-run
+// accounting: the event ring's drop counts (so bounded-ring truncation
+// is visible instead of silent) and per-histogram percentiles.
+func printObsSummary(snap obs.Snapshot, trace obs.Trace) {
+	if trace.Capacity > 0 {
+		fmt.Printf("trace: %d events emitted, %d retained, %d dropped (ring capacity %d)\n",
+			trace.Total, len(trace.Events), trace.Dropped, trace.Capacity)
+	}
+	if len(snap.Hists) == 0 {
+		return
+	}
+	names := make([]string, 0, len(snap.Hists))
+	for n := range snap.Hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	tbl := stats.NewTable("histogram", "count", "p50", "p90", "p99")
+	for _, n := range names {
+		h := snap.Hists[n]
+		p50, _ := h.Percentile(50)
+		p90, _ := h.Percentile(90)
+		p99, _ := h.Percentile(99)
+		tbl.AddRow(n, h.Total, p50, p90, p99)
+	}
+	tbl.Render(os.Stdout)
+}
+
+// runArtifact builds the runPayload for -json, honoring -json-summary
+// by dropping the raw trace events (counts survive, so truncation
+// stays visible) from the serialized copy.
+func runArtifact(res any, snap obs.Snapshot) runPayload {
+	if summaryArtifacts {
+		switch r := res.(type) {
+		case sim.Result:
+			r.Trace.Events = nil
+			res = r
+		case sim.MultiResult:
+			r.Trace.Events = nil
+			res = r
+		}
+	}
+	return runPayload{Result: res, Metrics: snap}
+}
+
 // printRobustness reports what the injector and auditor did, when
 // either was active.
 func printRobustness(mem memctl.Stats, totals faults.Totals, outcome audit.Outcome) {
@@ -248,16 +435,20 @@ func runMixCLI(name string, ops uint64, scale int, seed uint64, inject string, a
 	tbl := stats.NewTable("system", "weighted-speedup", "ratio", "extra-accesses")
 	var base sim.MultiResult
 	var last sim.MultiResult
+	var lastSnap obs.Snapshot
 	for _, s := range sim.Systems() {
 		cfg := sim.DefaultConfig(s)
 		cfg.Ops = ops
 		cfg.FootprintScale = scale
 		cfg.Seed = seed
 		robustify(&cfg, inject, auditEvery)
+		name := mix.Name + "_" + s.String()
+		attachLive(&cfg, name)
 		res := sim.RunMix(mix.Name, profs, cfg)
 		last = res
-		writeRunArtifact("mix", mix.Name+"_"+res.System,
-			runPayload{Result: res, Metrics: res.Registry().Snapshot()})
+		lastSnap = res.Registry().Snapshot()
+		publishRun(name, lastSnap, res.Trace)
+		writeRunArtifact("mix", name, runArtifact(res, lastSnap))
 		if s == sim.Uncompressed {
 			base = res
 			tbl.AddRow(res.System, 1.0, res.Ratio, res.Mem.RelativeExtra())
@@ -271,6 +462,7 @@ func runMixCLI(name string, ops uint64, scale int, seed uint64, inject string, a
 	}
 	tbl.Render(os.Stdout)
 	printRobustness(last.Mem, last.Faults, last.Audit)
+	printObsSummary(lastSnap, last.Trace)
 }
 
 func runBench(bench, system string, ops uint64, scale int, seed uint64, compare bool, inject string, auditEvery uint64) {
@@ -289,16 +481,20 @@ func runBench(bench, system string, ops uint64, scale int, seed uint64, compare 
 	tbl := stats.NewTable("system", "cycles", "ipc", "ratio", "extra-accesses", "l3-miss", "md-hit")
 	var base uint64
 	var last sim.Result
+	var lastSnap obs.Snapshot
 	for _, s := range systems {
 		cfg := sim.DefaultConfig(s)
 		cfg.Ops = ops
 		cfg.FootprintScale = scale
 		cfg.Seed = seed
 		robustify(&cfg, inject, auditEvery)
+		name := prof.Name + "_" + s.String()
+		attachLive(&cfg, name)
 		res := sim.RunSingle(prof, cfg)
 		last = res
-		writeRunArtifact("bench", prof.Name+"_"+res.System,
-			runPayload{Result: res, Metrics: res.Registry().Snapshot()})
+		lastSnap = res.Registry().Snapshot()
+		publishRun(name, lastSnap, res.Trace)
+		writeRunArtifact("bench", name, runArtifact(res, lastSnap))
 		if s == sim.Uncompressed {
 			base = res.Cycles
 		}
@@ -310,4 +506,5 @@ func runBench(bench, system string, ops uint64, scale int, seed uint64, compare 
 		prof.Name, prof.FootprintPages, scale, ops)
 	tbl.Render(os.Stdout)
 	printRobustness(last.Mem, last.Faults, last.Audit)
+	printObsSummary(lastSnap, last.Trace)
 }

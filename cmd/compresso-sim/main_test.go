@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+// TestValidateTraceEvents pins the -trace-events flag contract. The
+// pre-fix behaviour (pinned here as documentation): any value <= 0 was
+// passed straight to obs.NewTracer, which silently returned a nil
+// no-op tracer — `-trace-events -100` ran fine and recorded nothing.
+// Now an explicitly-set non-positive value is a flag error; only
+// omitting the flag disables tracing.
+func TestValidateTraceEvents(t *testing.T) {
+	cases := []struct {
+		set     bool
+		n       int
+		wantErr bool
+	}{
+		{set: false, n: 0, wantErr: false}, // default: tracing off
+		{set: true, n: 1024, wantErr: false},
+		{set: true, n: 1, wantErr: false},
+		{set: true, n: 0, wantErr: true},
+		{set: true, n: -100, wantErr: true},
+	}
+	for _, c := range cases {
+		err := validateTraceEvents(c.set, c.n)
+		if (err != nil) != c.wantErr {
+			t.Errorf("validateTraceEvents(%v, %d) = %v, wantErr %v", c.set, c.n, err, c.wantErr)
+		}
+	}
+}

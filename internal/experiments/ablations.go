@@ -6,7 +6,6 @@ import (
 	"compresso/internal/compress"
 	"compresso/internal/core"
 	"compresso/internal/memctl"
-	"compresso/internal/parallel"
 	"compresso/internal/sim"
 	"compresso/internal/stats"
 	"compresso/internal/workload"
@@ -31,7 +30,7 @@ type AbBinsRow struct {
 // workers.
 func AbBinsData(opt Options) []AbBinsRow {
 	profs := workload.All()
-	return parallel.Map(opt.Jobs, len(profs), func(i int) AbBinsRow {
+	return grid(opt, "ab-bins", len(profs), func(i int) AbBinsRow {
 		prof := profs[i]
 		mk := func(mod func(*core.Config)) sim.Result {
 			cfg := sim.DefaultConfig(sim.Compresso)
@@ -101,7 +100,7 @@ type AbAlignRow struct {
 // workers.
 func AbAlignData(opt Options) []AbAlignRow {
 	profs := workload.All()
-	return parallel.Map(opt.Jobs, len(profs), func(i int) AbAlignRow {
+	return grid(opt, "ab-align", len(profs), func(i int) AbAlignRow {
 		prof := profs[i]
 		mk := func(bins compress.Bins) sim.Result {
 			cfg := sim.DefaultConfig(sim.Compresso)
@@ -155,7 +154,7 @@ type BPCVariantRow struct {
 // scratch buffer so cells share nothing.
 func BPCVariantsData(opt Options) []BPCVariantRow {
 	profs := workload.All()
-	return parallel.Map(opt.Jobs, len(profs), func(i int) BPCVariantRow {
+	return grid(opt, "bpc-variants", len(profs), func(i int) BPCVariantRow {
 		prof := profs[i]
 		best := compress.BPC{}
 		baseline := compress.BPC{DisableBestOf: true}

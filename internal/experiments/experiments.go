@@ -36,9 +36,15 @@ type Options struct {
 	Jobs int
 	// JSONDir, when non-empty, receives one deterministic JSON
 	// artifact per experiment (the obs envelope, kind "experiment"):
-	// the structured rows behind the rendered tables. Files are
+	// the structured rows behind the tables. Files are
 	// byte-identical across Jobs values (DESIGN.md §8).
 	JSONDir string
+	// Progress, when non-nil, observes every experiment grid (one
+	// GridStart/GridEnd pair per fan-out, one GridCell per completed
+	// simulation cell). It is display/telemetry only and must not
+	// influence results: artifacts are byte-identical with or without a
+	// Progress sink attached (DESIGN.md §9).
+	Progress parallel.Progress
 }
 
 // ops and scale return the trace length and footprint divisor for the
@@ -106,6 +112,17 @@ func Run(name string, opt Options) error {
 	return runRecovering(e, opt)
 }
 
+// grid fans an experiment's simulation cells out under opt's job
+// bound, reporting per-cell progress to opt.Progress under label.
+func grid[T any](opt Options, label string, n int, fn func(int) T) []T {
+	return parallel.MapProgress(opt.Jobs, n, opt.Progress, label, fn)
+}
+
+// gridErr is grid for cells that can fail (see parallel.MapErr).
+func gridErr[T any](opt Options, label string, n int, fn func(int) (T, error)) ([]T, error) {
+	return parallel.MapErrProgress(opt.Jobs, n, opt.Progress, label, fn)
+}
+
 // writeArtifact serializes one experiment's payload into opt.JSONDir.
 func writeArtifact(opt Options, name string, data any) error {
 	if opt.JSONDir == "" || data == nil {
@@ -132,7 +149,7 @@ func RunAll(opt Options) error {
 		text string
 		err  error
 	}
-	outs := parallel.Map(opt.Jobs, len(list), func(i int) outcome {
+	outs := parallel.MapProgress(opt.Jobs, len(list), opt.Progress, "all", func(i int) outcome {
 		var buf bytes.Buffer
 		sub := opt
 		sub.Out = &buf

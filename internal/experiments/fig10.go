@@ -5,7 +5,6 @@ import (
 
 	"compresso/internal/capacity"
 	"compresso/internal/figures"
-	"compresso/internal/parallel"
 	"compresso/internal/sim"
 	"compresso/internal/stats"
 	"compresso/internal/workload"
@@ -61,7 +60,7 @@ func Fig10Data(opt Options) []Fig10Row {
 	key := [2]uint64{boolKey(opt.Quick), opt.seed()}
 	rows, err := fig10Cache.get(key, func() ([]Fig10Row, error) {
 		profs := workload.PerformanceSet()
-		return parallel.Map(opt.Jobs, len(profs), func(i int) Fig10Row {
+		return grid(opt, "fig10", len(profs), func(i int) Fig10Row {
 			prof := profs[i]
 			row := Fig10Row{Bench: prof.Name, Runs: map[string]sim.Result{}}
 

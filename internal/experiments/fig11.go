@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"compresso/internal/capacity"
-	"compresso/internal/parallel"
 	"compresso/internal/sim"
 	"compresso/internal/stats"
 )
@@ -30,7 +29,7 @@ func Fig11Data(opt Options) ([]Fig11Row, error) {
 	key := [2]uint64{boolKey(opt.Quick), opt.seed()}
 	return fig11Cache.get(key, func() ([]Fig11Row, error) {
 		mixes := sim.Mixes()
-		return parallel.MapErr(opt.Jobs, len(mixes), func(m int) (Fig11Row, error) {
+		return gridErr(opt, "fig11", len(mixes), func(m int) (Fig11Row, error) {
 			mix := mixes[m]
 			profs, err := mix.Profiles()
 			if err != nil {

@@ -6,7 +6,6 @@ import (
 	"compresso/internal/capacity"
 	"compresso/internal/compress"
 	"compresso/internal/memctl"
-	"compresso/internal/parallel"
 	"compresso/internal/stats"
 	"compresso/internal/workload"
 )
@@ -28,7 +27,7 @@ type Fig2Row struct {
 // independent cells fanned out across Options.Jobs workers.
 func Fig2Data(opt Options) []Fig2Row {
 	profs := workload.All()
-	return parallel.Map(opt.Jobs, len(profs), func(n int) Fig2Row {
+	return grid(opt, "fig2", len(profs), func(n int) Fig2Row {
 		prof := profs[n]
 		prof.FootprintPages /= opt.scale()
 		if prof.FootprintPages < 16 {

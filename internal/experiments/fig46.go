@@ -7,7 +7,6 @@ import (
 	"compresso/internal/core"
 	"compresso/internal/figures"
 	"compresso/internal/metadata"
-	"compresso/internal/parallel"
 	"compresso/internal/sim"
 	"compresso/internal/stats"
 	"compresso/internal/workload"
@@ -60,7 +59,7 @@ type Fig4Row struct {
 // out across Options.Jobs workers.
 func Fig4Data(opt Options) []Fig4Row {
 	profs := workload.All()
-	return parallel.Map(opt.Jobs, len(profs), func(i int) Fig4Row {
+	return grid(opt, "fig4", len(profs), func(i int) Fig4Row {
 		prof := profs[i]
 		cfg := sim.DefaultConfig(sim.Compresso)
 		cfg.Ops = opt.ops()
@@ -151,7 +150,7 @@ func fig6Mods() []func(*core.Config) {
 func Fig6Data(opt Options) []Fig6Row {
 	mods := fig6Mods()
 	profs := workload.All()
-	vals := parallel.Map(opt.Jobs, len(profs)*len(mods), func(k int) float64 {
+	vals := grid(opt, "fig6", len(profs)*len(mods), func(k int) float64 {
 		prof, mod := profs[k/len(mods)], mods[k%len(mods)]
 		cfg := sim.DefaultConfig(sim.Compresso)
 		cfg.Ops = opt.ops()

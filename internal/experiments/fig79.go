@@ -6,7 +6,6 @@ import (
 	"compresso/internal/core"
 	"compresso/internal/cpoints"
 	"compresso/internal/figures"
-	"compresso/internal/parallel"
 	"compresso/internal/sim"
 	"compresso/internal/stats"
 	"compresso/internal/workload"
@@ -25,7 +24,7 @@ type Fig7Row struct {
 // independent cells fanned out across Options.Jobs workers.
 func Fig7Data(opt Options) []Fig7Row {
 	profs := workload.All()
-	return parallel.Map(opt.Jobs, len(profs), func(i int) Fig7Row {
+	return grid(opt, "fig7", len(profs), func(i int) Fig7Row {
 		prof := profs[i]
 		cfg := sim.DefaultConfig(sim.Compresso)
 		cfg.Ops = opt.ops()
@@ -82,7 +81,7 @@ func Fig9Data(opt Options) ([]Fig9Series, error) {
 		opsPer = 1000
 	}
 	names := []string{"GemsFDTD", "astar"}
-	return parallel.MapErr(opt.Jobs, len(names), func(i int) (Fig9Series, error) {
+	return gridErr(opt, "fig9", len(names), func(i int) (Fig9Series, error) {
 		name := names[i]
 		prof, err := workload.ByName(name)
 		if err != nil {

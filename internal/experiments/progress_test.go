@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"compresso/internal/obs"
+	"compresso/internal/progress"
+)
+
+// TestProgressDeterminismNeutral is the DESIGN.md §9 invariant at the
+// experiment layer: attaching a Progress sink must not change the
+// rendered output or the JSON artifacts — bytes identical with and
+// without a sink, at any Jobs value.
+func TestProgressDeterminismNeutral(t *testing.T) {
+	run := func(jobs int, withProgress bool) (string, string) {
+		resetMemos()
+		dir := t.TempDir()
+		var buf bytes.Buffer
+		opt := quickOpts()
+		opt.Out = &buf
+		opt.Jobs = jobs
+		opt.JSONDir = dir
+		if withProgress {
+			opt.Progress = progress.NewTracker()
+		}
+		if err := Run("fig2", opt); err != nil {
+			t.Fatal(err)
+		}
+		art, err := os.ReadFile(filepath.Join(dir, obs.ArtifactFileName("experiment", "fig2")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.String(), string(art)
+	}
+
+	plainOut, plainArt := run(1, false)
+	trackOut, trackArt := run(1, true)
+	parOut, parArt := run(8, true)
+
+	if plainOut != trackOut || plainOut != parOut {
+		t.Fatal("progress sink changed the rendered output")
+	}
+	if plainArt != trackArt || plainArt != parArt {
+		t.Fatal("progress sink changed the JSON artifact")
+	}
+}
+
+// TestProgressObservesGrid checks the grids actually report: the fig2
+// fan-out must surface one cell per benchmark through Options.Progress.
+func TestProgressObservesGrid(t *testing.T) {
+	tr := progress.NewTracker()
+	opt := quickOpts()
+	opt.Progress = tr
+	rows := Fig2Data(opt)
+
+	st := tr.State()
+	if st.CellsTotal != len(rows) || st.CellsDone != len(rows) {
+		t.Fatalf("progress saw %d/%d cells, want %d/%d",
+			st.CellsDone, st.CellsTotal, len(rows), len(rows))
+	}
+	if len(st.Grids) != 1 || st.Grids[0].Label != "fig2" || st.Grids[0].Active {
+		t.Fatalf("grid state %+v", st.Grids)
+	}
+	if events := tr.ChromeEvents(2); len(events) == 0 {
+		t.Fatal("tracker exported no spans")
+	}
+}

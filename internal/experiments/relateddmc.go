@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"compresso/internal/parallel"
 	"compresso/internal/sim"
 	"compresso/internal/stats"
 	"compresso/internal/workload"
@@ -36,7 +35,7 @@ var dmcBenchmarks = []string{"mcf", "omnetpp", "GemsFDTD", "libquantum", "Graph5
 // uncompressed baseline). Benchmarks are independent cells fanned out
 // across Options.Jobs workers.
 func RelatedDMCData(opt Options) ([]DMCRow, error) {
-	return parallel.MapErr(opt.Jobs, len(dmcBenchmarks), func(i int) (DMCRow, error) {
+	return gridErr(opt, "related-dmc", len(dmcBenchmarks), func(i int) (DMCRow, error) {
 		name := dmcBenchmarks[i]
 		prof, err := workload.ByName(name)
 		if err != nil {

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"compresso/internal/capacity"
-	"compresso/internal/parallel"
 	"compresso/internal/sim"
 	"compresso/internal/stats"
 	"compresso/internal/workload"
@@ -42,7 +41,7 @@ func Tab2Data(opt Options) ([]Tab2Cell, error) {
 	// the 4-core mixes.
 	perFrac := len(profs) + len(mixes)
 	type rel struct{ lcp, comp, unc float64 }
-	vals := parallel.Map(opt.Jobs, len(fracs)*perFrac, func(k int) rel {
+	vals := grid(opt, "tab2", len(fracs)*perFrac, func(k int) rel {
 		frac := fracs[k/perFrac]
 		j := k % perFrac
 		if j < len(profs) {

@@ -16,6 +16,7 @@ import (
 	"math"
 	"reflect"
 	"sort"
+	"strconv"
 	"strings"
 	"unicode"
 )
@@ -96,6 +97,73 @@ func (h *Histogram) Total() uint64 { return h.total }
 
 // Count returns the count in bucket b.
 func (h *Histogram) Count(b int) uint64 { return h.counts[b] }
+
+// Snapshot returns the histogram's point-in-time state with decimal
+// string bucket keys (the serializable form).
+func (h *Histogram) Snapshot() HistSnapshot {
+	hs := HistSnapshot{Total: h.total}
+	if len(h.counts) > 0 {
+		hs.Buckets = make(map[string]uint64, len(h.counts))
+		for b, c := range h.counts {
+			hs.Buckets[strconv.Itoa(b)] = c
+		}
+	}
+	return hs
+}
+
+// AddSnapshot merges a snapshot's buckets back into h (the inverse of
+// Snapshot; the total is recomputed from the bucket counts). Keys that
+// are not decimal integers panic — snapshots are machine-produced.
+func (h *Histogram) AddSnapshot(s HistSnapshot) {
+	for k, c := range s.Buckets {
+		b, err := strconv.Atoi(k)
+		if err != nil {
+			panic(fmt.Sprintf("obs: histogram snapshot bucket key %q is not an integer", k))
+		}
+		h.ObserveN(b, c)
+	}
+}
+
+// Percentile returns the smallest bucket key at or below which at
+// least p percent (0..100) of the samples fall, and false when the
+// histogram is empty.
+func (h *Histogram) Percentile(p float64) (int, bool) {
+	return h.Snapshot().Percentile(p)
+}
+
+// Percentile is the HistSnapshot form of Histogram.Percentile.
+func (s HistSnapshot) Percentile(p float64) (int, bool) {
+	if s.Total == 0 || len(s.Buckets) == 0 {
+		return 0, false
+	}
+	keys := make([]int, 0, len(s.Buckets))
+	for k := range s.Buckets {
+		b, err := strconv.Atoi(k)
+		if err != nil {
+			panic(fmt.Sprintf("obs: histogram snapshot bucket key %q is not an integer", k))
+		}
+		keys = append(keys, b)
+	}
+	sort.Ints(keys)
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	need := uint64(math.Ceil(p / 100 * float64(s.Total)))
+	if need == 0 {
+		need = 1
+	}
+	var cum uint64
+	for _, b := range keys {
+		cum += s.Buckets[strconv.Itoa(b)]
+		if cum >= need {
+			return b, true
+		}
+	}
+	return keys[len(keys)-1], true
+}
 
 // Registry holds metrics under stable dotted snake_case names such as
 // "memctl.demand_reads" (see DESIGN.md §8 for the naming scheme). Not

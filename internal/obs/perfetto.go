@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// ChromeEvent is one entry in the Chrome trace-event JSON format, the
+// interchange format both chrome://tracing and Perfetto load. Only the
+// fields the exporters use are modeled; see the Trace Event Format
+// spec for the full grammar.
+type ChromeEvent struct {
+	Name  string `json:"name"`
+	Cat   string `json:"cat,omitempty"`
+	Phase string `json:"ph"`
+	// TsUs / DurUs are microseconds (the format's native unit).
+	TsUs  float64 `json:"ts"`
+	DurUs float64 `json:"dur,omitempty"`
+	Pid   int     `json:"pid"`
+	Tid   int     `json:"tid"`
+	// Scope applies to instant events ("t" = thread-scoped).
+	Scope string                 `json:"s,omitempty"`
+	Args  map[string]interface{} `json:"args,omitempty"`
+}
+
+// ChromeTrace is the top-level trace-event envelope.
+type ChromeTrace struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ThreadName builds the metadata event that names a (pid, tid) track.
+func ThreadName(pid, tid int, name string) ChromeEvent {
+	return ChromeEvent{
+		Name: "thread_name", Phase: "M", Pid: pid, Tid: tid,
+		Args: map[string]interface{}{"name": name},
+	}
+}
+
+// ProcessName builds the metadata event that names a pid group.
+func ProcessName(pid int, name string) ChromeEvent {
+	return ChromeEvent{
+		Name: "process_name", Phase: "M", Pid: pid,
+		Args: map[string]interface{}{"name": name},
+	}
+}
+
+// traceCyclesPerUs converts controller-event cycles to trace
+// microseconds: a nominal 1 GHz core clock (1 cycle = 1 ns), purely a
+// display scale.
+const traceCyclesPerUs = 1000.0
+
+// ChromeEvents converts the trace's retained controller events into
+// thread-scoped instant events under the given pid: one track (tid)
+// per event kind, timestamped at cycle/1000 µs. Tracks are named via
+// metadata events so the viewer shows the event-kind names.
+func (t Trace) ChromeEvents(pid int) []ChromeEvent {
+	if len(t.Events) == 0 {
+		return nil
+	}
+	out := make([]ChromeEvent, 0, len(t.Events)+int(NEventKinds)+1)
+	out = append(out, ProcessName(pid, "controller-events"))
+	seen := [NEventKinds]bool{}
+	for _, e := range t.Events {
+		if e.Kind < NEventKinds && !seen[e.Kind] {
+			seen[e.Kind] = true
+			out = append(out, ThreadName(pid, int(e.Kind), e.Kind.String()))
+		}
+		args := map[string]interface{}{"arg": e.Arg}
+		if e.Page != NoPage {
+			args["page"] = e.Page
+		}
+		out = append(out, ChromeEvent{
+			Name:  e.Kind.String(),
+			Cat:   "controller",
+			Phase: "i",
+			TsUs:  float64(e.Cycle) / traceCyclesPerUs,
+			Pid:   pid,
+			Tid:   int(e.Kind),
+			Scope: "t",
+			Args:  args,
+		})
+	}
+	return out
+}
+
+// WriteChromeTrace writes the events as an indented trace-event file
+// loadable by chrome://tracing and ui.perfetto.dev.
+func WriteChromeTrace(path string, events []ChromeEvent) error {
+	if events == nil {
+		events = []ChromeEvent{} // emit a valid empty traceEvents array
+	}
+	buf, err := json.MarshalIndent(ChromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: encoding chrome trace: %w", err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return fmt.Errorf("obs: writing chrome trace: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestTraceChromeEvents(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Emit(1000, EvLineOverflow, 7, 3)
+	tr.Emit(2500, EvPageOverflow, 9, 1)
+	tr.Emit(3000, EvLineOverflow, 7, 4)
+	events := tr.Trace().ChromeEvents(1)
+
+	var meta, instants int
+	tids := map[int]bool{}
+	for _, e := range events {
+		switch e.Phase {
+		case "M":
+			meta++
+		case "i":
+			instants++
+			tids[e.Tid] = true
+			if e.Pid != 1 || e.Scope != "t" || e.Cat != "controller" {
+				t.Fatalf("bad instant event %+v", e)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", e.Phase)
+		}
+	}
+	// One process_name + one thread_name per distinct kind.
+	if meta != 3 || instants != 3 {
+		t.Fatalf("got %d metadata, %d instant events", meta, instants)
+	}
+	// One track per event kind.
+	if len(tids) != 2 {
+		t.Fatalf("got tids %v, want one per kind", tids)
+	}
+	// Cycle -> µs at the nominal 1 GHz display clock.
+	for _, e := range events {
+		if e.Phase == "i" && e.Name == "page-overflow" && e.TsUs != 2.5 {
+			t.Fatalf("page-overflow ts = %v µs, want 2.5", e.TsUs)
+		}
+	}
+
+	if got := (Trace{}).ChromeEvents(1); got != nil {
+		t.Fatalf("empty trace produced %d events", len(got))
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	events := []ChromeEvent{
+		ProcessName(1, "p"),
+		{Name: "span", Phase: "X", TsUs: 1, DurUs: 5, Pid: 1, Tid: 2},
+	}
+	if err := WriteChromeTrace(path, events); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ChromeTrace
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if len(back.TraceEvents) != 2 || back.DisplayTimeUnit != "ms" {
+		t.Fatalf("decoded %+v", back)
+	}
+
+	// nil events must still produce a loadable file with an empty array.
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := WriteChromeTrace(empty, nil); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = os.ReadFile(empty)
+	if err := json.Unmarshal(raw, &back); err != nil || back.TraceEvents == nil {
+		t.Fatalf("empty trace decode: %v / %+v", err, back)
+	}
+}

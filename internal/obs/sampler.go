@@ -1,0 +1,98 @@
+package obs
+
+// Window is one sampling interval's observation: the delta of every
+// counter and histogram bucket against the previous sample, plus the
+// gauges' levels at the window's end. Cycle bounds come from the core
+// clock of the run being sampled.
+type Window struct {
+	// Index is the 0-based window number since sampling began; the
+	// ring drops old windows, so indices identify survivors.
+	Index      uint64   `json:"index"`
+	StartCycle uint64   `json:"start_cycle"`
+	EndCycle   uint64   `json:"end_cycle"`
+	Delta      Snapshot `json:"delta"`
+}
+
+// Series is a sampler's exportable state: the retained windows
+// oldest-first plus the drop accounting, mirroring Trace for events.
+type Series struct {
+	// Every is the sampling period in the caller's unit (demand
+	// operations for sim runs, milliseconds for the harness sampler).
+	Every    uint64   `json:"every"`
+	Capacity int      `json:"capacity"`
+	Total    uint64   `json:"total"`
+	Dropped  uint64   `json:"dropped"`
+	Windows  []Window `json:"windows,omitempty"`
+}
+
+// Sampler turns registry snapshots into a windowed time series: each
+// Sample call stores the delta against the previous snapshot in a
+// bounded ring (the newest `capacity` windows survive, older ones are
+// dropped but counted). A nil *Sampler is a complete no-op, so run
+// loops hook it in unconditionally and sampling costs nothing when
+// disabled. Not safe for concurrent use; wrap with a mutex when fed
+// from multiple goroutines.
+type Sampler struct {
+	every     uint64
+	buf       []Window
+	next      int
+	total     uint64
+	prev      Snapshot
+	prevCycle uint64
+}
+
+// NewSampler returns a sampler retaining the newest capacity windows,
+// or nil (sampling disabled) when every == 0 or capacity <= 0.
+func NewSampler(every uint64, capacity int) *Sampler {
+	if every == 0 || capacity <= 0 {
+		return nil
+	}
+	return &Sampler{every: every, buf: make([]Window, 0, capacity)}
+}
+
+// Enabled reports whether windows are being recorded.
+func (s *Sampler) Enabled() bool { return s != nil }
+
+// Sample closes the current window at the given cycle: it stores the
+// delta of snap against the previous sample and returns the stored
+// window. No-op (returning the zero Window) on a nil sampler.
+func (s *Sampler) Sample(cycle uint64, snap Snapshot) Window {
+	if s == nil {
+		return Window{}
+	}
+	w := Window{
+		Index:      s.total,
+		StartCycle: s.prevCycle,
+		EndCycle:   cycle,
+		Delta:      snap.Delta(s.prev),
+	}
+	if len(s.buf) < cap(s.buf) {
+		s.buf = append(s.buf, w)
+	} else {
+		s.buf[s.next] = w
+		s.next = (s.next + 1) % len(s.buf)
+	}
+	s.total++
+	s.prev = snap
+	s.prevCycle = cycle
+	return w
+}
+
+// Series snapshots the retained windows oldest-first. A nil sampler
+// returns the zero Series.
+func (s *Sampler) Series() Series {
+	if s == nil {
+		return Series{}
+	}
+	out := Series{Every: s.every, Capacity: cap(s.buf), Total: s.total}
+	out.Dropped = s.total - uint64(len(s.buf))
+	if len(s.buf) == 0 {
+		// Leave Windows nil so a Series JSON round-trips equal (same
+		// reasoning as Tracer.Trace).
+		return out
+	}
+	out.Windows = make([]Window, 0, len(s.buf))
+	out.Windows = append(out.Windows, s.buf[s.next:]...)
+	out.Windows = append(out.Windows, s.buf[:s.next]...)
+	return out
+}

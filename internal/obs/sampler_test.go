@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func snapAt(c uint64) Snapshot {
+	return Snapshot{
+		Counters: map[string]uint64{"m.ops": c},
+		Gauges:   map[string]float64{"m.level": float64(c) / 2},
+	}
+}
+
+func TestSamplerWindowsAreDeltas(t *testing.T) {
+	s := NewSampler(100, 8)
+	if !s.Enabled() {
+		t.Fatal("sampler should be enabled")
+	}
+	s.Sample(100, snapAt(10))
+	s.Sample(250, snapAt(25))
+	s.Sample(400, snapAt(40))
+	ser := s.Series()
+	if ser.Every != 100 || ser.Capacity != 8 || ser.Total != 3 || ser.Dropped != 0 {
+		t.Fatalf("series accounting = %+v", ser)
+	}
+	if len(ser.Windows) != 3 {
+		t.Fatalf("got %d windows", len(ser.Windows))
+	}
+	w := ser.Windows[1]
+	if w.Index != 1 || w.StartCycle != 100 || w.EndCycle != 250 {
+		t.Fatalf("window bounds = %+v", w)
+	}
+	if got := w.Delta.Counters["m.ops"]; got != 15 {
+		t.Fatalf("counter delta = %d, want 15", got)
+	}
+	// Gauges report levels, not deltas.
+	if got := w.Delta.Gauges["m.level"]; got != 12.5 {
+		t.Fatalf("gauge level = %v, want 12.5", got)
+	}
+	// Window deltas sum to the final cumulative counter.
+	var sum uint64
+	for _, w := range ser.Windows {
+		sum += w.Delta.Counters["m.ops"]
+	}
+	if sum != 40 {
+		t.Fatalf("summed deltas = %d, want 40", sum)
+	}
+}
+
+func TestSamplerRingDropsOldest(t *testing.T) {
+	s := NewSampler(1, 4)
+	for c := uint64(1); c <= 10; c++ {
+		s.Sample(c, snapAt(c))
+	}
+	ser := s.Series()
+	if ser.Total != 10 || ser.Dropped != 6 || len(ser.Windows) != 4 {
+		t.Fatalf("accounting = total %d dropped %d retained %d", ser.Total, ser.Dropped, len(ser.Windows))
+	}
+	// Oldest-first: indices 6..9 survive.
+	for i, w := range ser.Windows {
+		if want := uint64(6 + i); w.Index != want {
+			t.Fatalf("window %d has index %d, want %d", i, w.Index, want)
+		}
+	}
+}
+
+func TestSamplerNilIsNoOp(t *testing.T) {
+	var s *Sampler
+	if s.Enabled() {
+		t.Fatal("nil sampler reports enabled")
+	}
+	if w := s.Sample(5, snapAt(1)); !reflect.DeepEqual(w, Window{}) {
+		t.Fatalf("nil Sample returned %+v", w)
+	}
+	if ser := s.Series(); !reflect.DeepEqual(ser, Series{}) {
+		t.Fatalf("nil Series returned %+v", ser)
+	}
+	if NewSampler(0, 8) != nil || NewSampler(10, 0) != nil {
+		t.Fatal("disabled configurations must return nil")
+	}
+}
+
+func TestSeriesJSONRoundTrip(t *testing.T) {
+	s := NewSampler(50, 2)
+	s.Sample(50, snapAt(5))
+	s.Sample(100, snapAt(9))
+	s.Sample(150, snapAt(12))
+	ser := s.Series()
+	b, err := json.Marshal(ser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Series
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ser, back) {
+		t.Fatalf("round trip mismatch:\n  %+v\n  %+v", ser, back)
+	}
+
+	// An empty sampler's Series must round-trip too (nil Windows).
+	empty := NewSampler(50, 2).Series()
+	b, _ = json.Marshal(empty)
+	var back2 Series
+	json.Unmarshal(b, &back2)
+	if !reflect.DeepEqual(empty, back2) {
+		t.Fatalf("empty round trip mismatch: %+v vs %+v", empty, back2)
+	}
+}
+
+func TestHistogramPercentile(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 50; i++ {
+		h.Observe(1)
+	}
+	for i := 0; i < 40; i++ {
+		h.Observe(4)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(9)
+	}
+	cases := []struct {
+		p    float64
+		want int
+	}{
+		{0, 1}, {50, 1}, {51, 4}, {90, 4}, {91, 9}, {99, 9}, {100, 9}, {150, 9}, {-5, 1},
+	}
+	for _, c := range cases {
+		got, ok := h.Percentile(c.p)
+		if !ok || got != c.want {
+			t.Errorf("Percentile(%v) = %d,%v, want %d", c.p, got, ok, c.want)
+		}
+	}
+	var empty Histogram
+	if _, ok := empty.Percentile(50); ok {
+		t.Error("empty histogram reported a percentile")
+	}
+}
+
+func TestHistogramSnapshotRoundTrip(t *testing.T) {
+	var h Histogram
+	h.ObserveN(2, 3)
+	h.ObserveN(7, 5)
+	snap := h.Snapshot()
+	var h2 Histogram
+	h2.AddSnapshot(snap)
+	if !reflect.DeepEqual(h2.Snapshot(), snap) {
+		t.Fatalf("snapshot round trip mismatch: %+v vs %+v", h2.Snapshot(), snap)
+	}
+	if h2.Total() != 8 || h2.Count(7) != 5 {
+		t.Fatalf("restored totals wrong: total %d count(7) %d", h2.Total(), h2.Count(7))
+	}
+}

@@ -1,0 +1,284 @@
+package obshttp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"compresso/internal/obs"
+)
+
+// promName maps a registry's dotted snake_case name onto the
+// Prometheus metric-name grammar: dots become underscores
+// ("memctl.demand_reads" -> "memctl_demand_reads"); the registry
+// grammar (lowercase alphanumerics and underscores) is a subset of
+// Prometheus's, so no other rewriting is needed.
+func promName(name string) string {
+	return strings.ReplaceAll(name, ".", "_")
+}
+
+// escapeLabel escapes a label value per the text exposition format:
+// backslash, double quote and newline.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// renderLabels renders a label set sorted by name, with extra
+// (e.g. le) appended last. Returns "" for no labels.
+func renderLabels(labels map[string]string, extra ...string) string {
+	if len(labels) == 0 && len(extra) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(labels))
+	for n := range labels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names)+len(extra)/2)
+	for _, n := range names {
+		parts = append(parts, fmt.Sprintf(`%s="%s"`, n, escapeLabel(labels[n])))
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		parts = append(parts, fmt.Sprintf(`%s="%s"`, extra[i], escapeLabel(extra[i+1])))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// formatValue renders a sample value the way Prometheus expects.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteExposition renders a metrics snapshot in the Prometheus text
+// exposition format, deterministically: metrics sort by name, every
+// metric carries a # TYPE line, and the constant labels apply to each
+// sample. Counters and gauges map 1:1; a registry histogram's integer
+// buckets become cumulative le buckets with the bucket key as the
+// boundary, plus the conventional _sum (bucket-key-weighted) and
+// _count series.
+func WriteExposition(w io.Writer, snap obs.Snapshot, labels map[string]string) error {
+	names := make([]string, 0, len(snap.Counters)+len(snap.Gauges)+len(snap.Hists))
+	for n := range snap.Counters {
+		names = append(names, n)
+	}
+	for n := range snap.Gauges {
+		names = append(names, n)
+	}
+	for n := range snap.Hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	ls := renderLabels(labels)
+	for _, n := range names {
+		pn := promName(n)
+		if v, ok := snap.Counters[n]; ok {
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s%s %d\n", pn, pn, ls, v); err != nil {
+				return err
+			}
+			continue
+		}
+		if v, ok := snap.Gauges[n]; ok {
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s%s %s\n", pn, pn, ls, formatValue(v)); err != nil {
+				return err
+			}
+			continue
+		}
+		h := snap.Hists[n]
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		keys := make([]int, 0, len(h.Buckets))
+		for k := range h.Buckets {
+			b, err := strconv.Atoi(k)
+			if err != nil {
+				return fmt.Errorf("obshttp: histogram %s bucket key %q is not an integer", n, k)
+			}
+			keys = append(keys, b)
+		}
+		sort.Ints(keys)
+		var cum, sum uint64
+		for _, b := range keys {
+			c := h.Buckets[strconv.Itoa(b)]
+			cum += c
+			sum += uint64(b) * c
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				pn, renderLabels(labels, "le", strconv.Itoa(b)), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			pn, renderLabels(labels, "le", "+Inf"), h.Total); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %d\n%s_count%s %d\n",
+			pn, ls, sum, pn, ls, h.Total); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// isPromName reports whether s matches the Prometheus metric/label
+// name grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func isPromName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_' || r == ':'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckExposition validates a text exposition stream: line grammar,
+// metric-name grammar, label quoting, parseable sample values, and
+// that every sample belongs to a preceding # TYPE declaration (with
+// the _bucket/_sum/_count suffixes allowed for histograms). It is the
+// validator behind `compresso-sim -promcheck` and the obs-smoke
+// gauntlet target.
+func CheckExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	types := map[string]string{}
+	lineNo := 0
+	samples := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 2 || (fields[1] != "TYPE" && fields[1] != "HELP") {
+				return fmt.Errorf("line %d: malformed comment %q (want # TYPE or # HELP)", lineNo, line)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+				}
+				name, kind := fields[2], fields[3]
+				if !isPromName(name) {
+					return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+				}
+				switch kind {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", lineNo, kind)
+				}
+				if _, dup := types[name]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				types[name] = kind
+			}
+			continue
+		}
+		name, rest, err := splitSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if !isPromName(name) {
+			return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suf)
+			if trimmed != name && types[trimmed] == "histogram" {
+				base = trimmed
+				break
+			}
+		}
+		if _, ok := types[base]; !ok {
+			return fmt.Errorf("line %d: sample %q has no preceding # TYPE", lineNo, name)
+		}
+		value := strings.TrimSpace(rest)
+		if i := strings.IndexAny(value, " \t"); i >= 0 {
+			// Optional trailing timestamp.
+			ts := strings.TrimSpace(value[i:])
+			value = value[:i]
+			if _, err := strconv.ParseInt(ts, 10, 64); err != nil {
+				return fmt.Errorf("line %d: bad timestamp %q", lineNo, ts)
+			}
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			return fmt.Errorf("line %d: bad sample value %q", lineNo, value)
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if samples == 0 {
+		return fmt.Errorf("no samples found")
+	}
+	return nil
+}
+
+// splitSample splits "name{labels} value" into name and the value
+// remainder, validating the label-set quoting.
+func splitSample(line string) (name, rest string, err error) {
+	brace := strings.IndexByte(line, '{')
+	if brace < 0 {
+		sp := strings.IndexAny(line, " \t")
+		if sp < 0 {
+			return "", "", fmt.Errorf("sample %q has no value", line)
+		}
+		return line[:sp], line[sp:], nil
+	}
+	name = line[:brace]
+	i := brace + 1
+	for {
+		// label name
+		j := i
+		for j < len(line) && line[j] != '=' {
+			j++
+		}
+		if j >= len(line) {
+			return "", "", fmt.Errorf("unterminated label set in %q", line)
+		}
+		if !isPromName(strings.TrimSpace(line[i:j])) {
+			return "", "", fmt.Errorf("invalid label name %q", strings.TrimSpace(line[i:j]))
+		}
+		i = j + 1
+		if i >= len(line) || line[i] != '"' {
+			return "", "", fmt.Errorf("unquoted label value in %q", line)
+		}
+		i++
+		for i < len(line) {
+			if line[i] == '\\' {
+				i += 2
+				continue
+			}
+			if line[i] == '"' {
+				break
+			}
+			i++
+		}
+		if i >= len(line) {
+			return "", "", fmt.Errorf("unterminated label value in %q", line)
+		}
+		i++ // past closing quote
+		if i < len(line) && line[i] == ',' {
+			i++
+			continue
+		}
+		if i < len(line) && line[i] == '}' {
+			i++
+			break
+		}
+		return "", "", fmt.Errorf("malformed label set in %q", line)
+	}
+	if i >= len(line) || (line[i] != ' ' && line[i] != '\t') {
+		return "", "", fmt.Errorf("sample %q has no value", line)
+	}
+	return name, line[i:], nil
+}

@@ -18,7 +18,22 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// Progress receives grid-execution notifications from MapProgress /
+// MapErrProgress: one GridStart per grid, one GridCell per completed
+// cell (with its wall time), and a closing GridEnd. Implementations
+// must be safe for concurrent use — GridCell is called from worker
+// goroutines in completion order, which is scheduler-dependent, so a
+// Progress sink must never influence results (display and telemetry
+// only; see the determinism contract in DESIGN.md §7/§9). A panicking
+// cell reports no GridCell, but GridEnd still fires.
+type Progress interface {
+	GridStart(label string, cells int)
+	GridCell(label string, index int, wall time.Duration)
+	GridEnd(label string)
+}
 
 // Workers resolves a requested job bound for n cells: jobs <= 0 means
 // GOMAXPROCS, and the bound never exceeds the cell count.
@@ -49,11 +64,18 @@ type cellPanic struct {
 // re-panics with the lowest-index cell's panic value, so the caller
 // sees the same panic a serial loop would have surfaced first.
 func Map[T any](jobs, n int, fn func(int) T) []T {
+	return MapProgress(jobs, n, nil, "", fn)
+}
+
+// MapProgress is Map with per-cell progress reporting: p (when
+// non-nil) observes the grid under the given label. A nil p costs
+// nothing — no clock reads, no extra allocation.
+func MapProgress[T any](jobs, n int, p Progress, label string, fn func(int) T) []T {
 	out := make([]T, n)
-	panics := fanOut(jobs, n, func(i int) { out[i] = fn(i) })
-	for _, p := range panics {
-		if p != nil {
-			panic(p.value)
+	panics := fanOut(jobs, n, p, label, func(i int) { out[i] = fn(i) })
+	for _, pc := range panics {
+		if pc != nil {
+			panic(pc.value)
 		}
 	}
 	return out
@@ -63,12 +85,18 @@ func Map[T any](jobs, n int, fn func(int) T) []T {
 // error is the lowest-index cell's error (deterministic under any
 // scheduling), alongside the full result slice.
 func MapErr[T any](jobs, n int, fn func(int) (T, error)) ([]T, error) {
+	return MapErrProgress(jobs, n, nil, "", fn)
+}
+
+// MapErrProgress is MapErr with per-cell progress reporting (see
+// MapProgress).
+func MapErrProgress[T any](jobs, n int, p Progress, label string, fn func(int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	errs := make([]error, n)
-	panics := fanOut(jobs, n, func(i int) { out[i], errs[i] = fn(i) })
-	for _, p := range panics {
-		if p != nil {
-			panic(p.value)
+	panics := fanOut(jobs, n, p, label, func(i int) { out[i], errs[i] = fn(i) })
+	for _, pc := range panics {
+		if pc != nil {
+			panic(pc.value)
 		}
 	}
 	for _, err := range errs {
@@ -83,9 +111,19 @@ func MapErr[T any](jobs, n int, fn func(int) (T, error)) ([]T, error) {
 // returns any recovered panics indexed by cell. Workers pull the next
 // index from a shared counter, so result placement (by index) is
 // independent of which worker runs which cell.
-func fanOut(jobs, n int, cell func(int)) []*cellPanic {
+func fanOut(jobs, n int, p Progress, label string, cell func(int)) []*cellPanic {
 	if n <= 0 {
 		return nil
+	}
+	if p != nil {
+		p.GridStart(label, n)
+		defer p.GridEnd(label)
+		inner := cell
+		cell = func(i int) {
+			t0 := time.Now()
+			inner(i)
+			p.GridCell(label, i, time.Since(t0))
+		}
 	}
 	panics := make([]*cellPanic, n)
 	run := func(i int) {

@@ -1,0 +1,117 @@
+package parallel
+
+import (
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recorder is a concurrency-safe Progress sink for tests.
+type recorder struct {
+	mu     sync.Mutex
+	starts []string
+	ends   []string
+	cells  []int
+	walls  []time.Duration
+}
+
+func (r *recorder) GridStart(label string, cells int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.starts = append(r.starts, label)
+}
+
+func (r *recorder) GridCell(label string, index int, wall time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cells = append(r.cells, index)
+	r.walls = append(r.walls, wall)
+}
+
+func (r *recorder) GridEnd(label string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ends = append(r.ends, label)
+}
+
+func TestMapProgressReportsEveryCellOnce(t *testing.T) {
+	for _, jobs := range []int{1, 4} {
+		rec := &recorder{}
+		out := MapProgress(jobs, 10, rec, "g", func(i int) int { return i * i })
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("jobs=%d: out[%d] = %d", jobs, i, v)
+			}
+		}
+		if !reflect.DeepEqual(rec.starts, []string{"g"}) || !reflect.DeepEqual(rec.ends, []string{"g"}) {
+			t.Fatalf("jobs=%d: starts %v ends %v", jobs, rec.starts, rec.ends)
+		}
+		sort.Ints(rec.cells)
+		want := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+		if !reflect.DeepEqual(rec.cells, want) {
+			t.Fatalf("jobs=%d: cells %v", jobs, rec.cells)
+		}
+		for _, w := range rec.walls {
+			if w < 0 {
+				t.Fatalf("negative wall time %v", w)
+			}
+		}
+	}
+}
+
+func TestMapProgressResultsMatchMap(t *testing.T) {
+	fn := func(i int) int { return i*7 + 1 }
+	plain := Map(3, 20, fn)
+	tracked := MapProgress(3, 20, &recorder{}, "g", fn)
+	if !reflect.DeepEqual(plain, tracked) {
+		t.Fatal("progress sink changed results")
+	}
+}
+
+func TestMapErrProgress(t *testing.T) {
+	rec := &recorder{}
+	_, err := MapErrProgress(2, 5, rec, "e", func(i int) (int, error) {
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.cells) != 5 {
+		t.Fatalf("reported %d cells", len(rec.cells))
+	}
+}
+
+func TestProgressGridEndFiresOnPanic(t *testing.T) {
+	rec := &recorder{}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic did not propagate")
+			}
+		}()
+		MapProgress(2, 4, rec, "p", func(i int) int {
+			if i == 2 {
+				panic("boom")
+			}
+			return i
+		})
+	}()
+	if !reflect.DeepEqual(rec.ends, []string{"p"}) {
+		t.Fatalf("GridEnd not reported on panic: %v", rec.ends)
+	}
+	// The panicking cell reports no GridCell.
+	for _, c := range rec.cells {
+		if c == 2 {
+			t.Fatal("panicking cell reported a GridCell")
+		}
+	}
+}
+
+func TestMapProgressNilSink(t *testing.T) {
+	out := MapProgress(2, 3, nil, "", func(i int) int { return i })
+	if !reflect.DeepEqual(out, []int{0, 1, 2}) {
+		t.Fatalf("out = %v", out)
+	}
+}

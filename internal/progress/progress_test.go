@@ -1,0 +1,150 @@
+package progress
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"compresso/internal/obs"
+	"compresso/internal/parallel"
+)
+
+func TestTrackerStateAggregation(t *testing.T) {
+	tr := NewTracker()
+	tr.GridStart("a", 4)
+	tr.GridCell("a", 0, time.Millisecond)
+	tr.GridCell("a", 1, time.Millisecond)
+	tr.GridStart("b", 2)
+	tr.GridCell("b", 0, 2*time.Millisecond)
+
+	st := tr.State()
+	if st.CellsDone != 3 || st.CellsTotal != 6 {
+		t.Fatalf("cells %d/%d, want 3/6", st.CellsDone, st.CellsTotal)
+	}
+	if len(st.Grids) != 2 {
+		t.Fatalf("grids %d", len(st.Grids))
+	}
+	a := st.Grids[0]
+	if a.Label != "a" || a.Done != 2 || a.Total != 4 || !a.Active {
+		t.Fatalf("grid a = %+v", a)
+	}
+	if a.MeanCellS <= 0 {
+		t.Fatalf("mean cell time %v", a.MeanCellS)
+	}
+	// Two incomplete active grids: the overall ETA is the max estimate.
+	if st.EtaS <= 0 {
+		t.Fatalf("eta %v", st.EtaS)
+	}
+
+	tr.GridEnd("a")
+	tr.GridCell("b", 1, time.Millisecond)
+	tr.GridEnd("b")
+	st = tr.State()
+	for _, g := range st.Grids {
+		if g.Active {
+			t.Fatalf("grid %s still active", g.Label)
+		}
+		if g.EtaS != 0 {
+			t.Fatalf("finished grid %s has eta %v", g.Label, g.EtaS)
+		}
+	}
+}
+
+func TestTrackerUnknownGridDropped(t *testing.T) {
+	tr := NewTracker()
+	tr.GridCell("ghost", 0, time.Millisecond) // must not panic or invent a grid
+	tr.GridEnd("ghost")
+	if st := tr.State(); len(st.Grids) != 0 {
+		t.Fatalf("ghost grid materialized: %+v", st.Grids)
+	}
+}
+
+func TestTrackerReusedLabelStartsFreshGrid(t *testing.T) {
+	tr := NewTracker()
+	tr.GridStart("g", 1)
+	tr.GridCell("g", 0, time.Millisecond)
+	tr.GridEnd("g")
+	tr.GridStart("g", 3)
+	tr.GridCell("g", 0, time.Millisecond)
+	st := tr.State()
+	if len(st.Grids) != 2 {
+		t.Fatalf("grids %d, want 2", len(st.Grids))
+	}
+	if st.Grids[1].Done != 1 || st.Grids[1].Total != 3 || !st.Grids[1].Active {
+		t.Fatalf("second grid = %+v", st.Grids[1])
+	}
+}
+
+func TestTrackerChromeEvents(t *testing.T) {
+	tr := NewTracker()
+	if tr.ChromeEvents(2) != nil {
+		t.Fatal("empty tracker produced events")
+	}
+	tr.GridStart("g", 2)
+	tr.GridCell("g", 0, time.Millisecond)
+	tr.GridCell("g", 1, time.Millisecond)
+	tr.GridEnd("g")
+	events := tr.ChromeEvents(2)
+
+	var spans, meta int
+	for _, e := range events {
+		switch e.Phase {
+		case "X":
+			spans++
+			if e.Pid != 2 || e.DurUs < 0 {
+				t.Fatalf("bad span %+v", e)
+			}
+		case "M":
+			meta++
+		default:
+			t.Fatalf("unexpected phase %q", e.Phase)
+		}
+	}
+	// One grid span + two cell spans.
+	if spans != 3 {
+		t.Fatalf("spans = %d, want 3", spans)
+	}
+	if meta == 0 {
+		t.Fatal("no naming metadata emitted")
+	}
+}
+
+func TestTerminalRendersProgressLine(t *testing.T) {
+	tr := NewTracker()
+	var buf strings.Builder
+	term := NewTerminal(tr, &buf)
+	tr.GridStart("g", 2)
+	term.GridStart("g", 2)
+	tr.GridCell("g", 0, time.Millisecond)
+	term.GridCell("g", 0, time.Millisecond)
+	tr.GridEnd("g")
+	term.Finish()
+	out := buf.String()
+	if !strings.Contains(out, "progress: 1/2 cells (50%)") {
+		t.Fatalf("terminal output %q", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatalf("Finish did not terminate the line: %q", out)
+	}
+}
+
+func TestMulti(t *testing.T) {
+	if Multi() != nil || Multi(nil, nil) != nil {
+		t.Fatal("empty Multi should be nil")
+	}
+	a, b := NewTracker(), NewTracker()
+	m := Multi(a, nil, b)
+	m.GridStart("g", 1)
+	m.GridCell("g", 0, time.Millisecond)
+	m.GridEnd("g")
+	for _, tr := range []*Tracker{a, b} {
+		if st := tr.State(); st.CellsDone != 1 {
+			t.Fatalf("sink missed events: %+v", st)
+		}
+	}
+	// A single sink is returned unwrapped.
+	if Multi(a) != parallel.Progress(a) {
+		t.Fatal("single-sink Multi should return the sink itself")
+	}
+	var _ []obs.ChromeEvent = a.ChromeEvents(1)
+}

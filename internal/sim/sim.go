@@ -103,7 +103,30 @@ type Config struct {
 	// TraceEvents bounds the run's controller-event ring buffer (0
 	// disables tracing; the last N events survive in Result.Trace).
 	TraceEvents int
+
+	// SampleEvery snapshots the live metrics registry every N demand
+	// operations into the result's windowed time series (0 disables
+	// sampling). Sampling is determinism-neutral: it only reads stats
+	// through snapshot copies and never touches RNG or stat semantics,
+	// so artifacts are byte-identical with sampling on or off
+	// (DESIGN.md §9).
+	SampleEvery uint64
+
+	// SampleWindows bounds the sampler's window ring (<= 0 uses
+	// DefaultSampleWindows).
+	SampleWindows int
+
+	// OnSample, when non-nil, receives each sample's cycle and
+	// cumulative registry snapshot as the run loop takes it — the live
+	// introspection hook (-serve). Called synchronously from the run
+	// loop with a copy; implementations must not mutate simulator
+	// state and must not assume any timing.
+	OnSample func(cycle uint64, snap obs.Snapshot)
 }
+
+// DefaultSampleWindows is the sampler ring bound when
+// Config.SampleWindows is unset.
+const DefaultSampleWindows = 512
 
 // DefaultConfig returns the paper's Tab. III setup for the given
 // system.
@@ -147,9 +170,20 @@ type Result struct {
 	Faults faults.Totals
 	Audit  audit.Outcome
 
+	// PageSizes is the end-of-run compressed page-size distribution in
+	// 512 B chunks (zero Total for controllers without variable page
+	// sizes).
+	PageSizes obs.HistSnapshot
+
 	// Trace holds the run's controller-event ring-buffer contents
 	// (empty unless Config.TraceEvents > 0).
 	Trace obs.Trace
+
+	// Series is the sampled per-window metric timeline (empty unless
+	// Config.SampleEvery > 0). Excluded from JSON so artifacts stay
+	// byte-identical with sampling on or off (DESIGN.md §9); it is
+	// served live via -serve and readable programmatically.
+	Series obs.Series `json:"-"`
 }
 
 // Registry builds the run's metrics registry: every stat struct
@@ -166,6 +200,9 @@ func (r Result) Registry() *obs.Registry {
 	reg.Gauge("run.ratio").Set(r.Ratio)
 	if acc := r.L3.Accesses(); acc > 0 {
 		reg.Gauge("run.l3_miss_rate").Set(r.L3MissRate)
+	}
+	if r.PageSizes.Total > 0 {
+		reg.Histogram("memctl.page_size_chunks").AddSnapshot(r.PageSizes)
 	}
 	return reg
 }
@@ -318,6 +355,15 @@ func RunSingle(prof workload.Profile, cfg Config) Result {
 	hier := cache.NewHierarchy(l3)
 	c := cpu.New(cfg.CPU, hier, ctl, src)
 
+	sampler := newRunSampler(cfg)
+	sampleSingle := func() {
+		snap := collect(prof.Name, cfg.System, c, ctl, mem, l3).Registry().Snapshot()
+		sampler.Sample(c.Now(), snap)
+		if cfg.OnSample != nil {
+			cfg.OnSample(c.Now(), snap)
+		}
+	}
+
 	warm := uint64(float64(cfg.Ops) * cfg.WarmupFrac)
 	var op workload.Op
 	for i := uint64(0); i < cfg.Ops; i++ {
@@ -328,13 +374,20 @@ func RunSingle(prof workload.Profile, cfg Config) Result {
 				tracer.Emit(c.Now(), obs.EvAuditRun, obs.NoPage, uint64(len(rep.Violations)))
 			}
 		}
+		if cfg.SampleEvery > 0 && (i+1)%cfg.SampleEvery == 0 {
+			sampleSingle()
+		}
 		if i+1 == warm {
 			resetAll(ctl, mem, c, hier)
 		}
 	}
 	c.Drain()
+	if cfg.SampleEvery > 0 {
+		sampleSingle() // close the partial final window at the drained clock
+	}
 
 	res := collect(prof.Name, cfg.System, c, ctl, mem, l3)
+	res.Series = sampler.Series()
 	if auditor != nil {
 		rep := auditor.Final(audit.Structural)
 		tracer.Emit(c.Now(), obs.EvAuditRun, obs.NoPage, uint64(len(rep.Violations)))
@@ -347,6 +400,35 @@ func RunSingle(prof workload.Profile, cfg Config) Result {
 	res.Faults = inj.Totals()
 	res.Trace = tracer.Trace()
 	return res
+}
+
+// newRunSampler builds the run's windowed time-series sampler from
+// SampleEvery/SampleWindows (nil — all methods no-ops — when sampling
+// is off).
+func newRunSampler(cfg Config) *obs.Sampler {
+	windows := cfg.SampleWindows
+	if windows <= 0 {
+		windows = DefaultSampleWindows
+	}
+	return obs.NewSampler(cfg.SampleEvery, windows)
+}
+
+// pageSizeHister is implemented by controllers that can enumerate
+// their compressed page sizes (core.Controller).
+type pageSizeHister interface {
+	PageSizeHistogramAdd(add func(chunks int))
+}
+
+// pageSizes snapshots the controller's compressed page-size
+// distribution (zero snapshot when the controller has none).
+func pageSizes(ctl memctl.Controller) obs.HistSnapshot {
+	ph, ok := ctl.(pageSizeHister)
+	if !ok {
+		return obs.HistSnapshot{}
+	}
+	var h obs.Histogram
+	ph.PageSizeHistogramAdd(func(chunks int) { h.Observe(chunks) })
+	return h.Snapshot()
 }
 
 // attachTracer builds the run's event tracer and installs it on
@@ -388,6 +470,7 @@ func collect(bench string, sys System, c *cpu.Core, ctl memctl.Controller, mem *
 		res.MDCache = ms.MetadataCacheStats()
 	}
 	res.L3MissRate = l3.Stats().MissRate()
+	res.PageSizes = pageSizes(ctl)
 	return res
 }
 
@@ -407,9 +490,19 @@ type MultiResult struct {
 	Faults faults.Totals
 	Audit  audit.Outcome
 
+	// PageSizes is the end-of-run compressed page-size distribution in
+	// 512 B chunks (zero Total for controllers without variable page
+	// sizes).
+	PageSizes obs.HistSnapshot
+
 	// Trace holds the run's controller-event ring-buffer contents
 	// (empty unless Config.TraceEvents > 0).
 	Trace obs.Trace
+
+	// Series is the sampled per-window metric timeline (empty unless
+	// Config.SampleEvery > 0). Excluded from JSON so artifacts stay
+	// byte-identical with sampling on or off (DESIGN.md §9).
+	Series obs.Series `json:"-"`
 }
 
 // Registry builds the mix run's metrics registry: the shared memory
@@ -423,6 +516,9 @@ func (m MultiResult) Registry() *obs.Registry {
 	m.Faults.Register(reg, "faults")
 	m.Audit.Register(reg, "audit")
 	reg.Gauge("run.ratio").Set(m.Ratio)
+	if m.PageSizes.Total > 0 {
+		reg.Histogram("memctl.page_size_chunks").AddSnapshot(m.PageSizes)
+	}
 	for i, c := range m.Cores {
 		c.CPU.Register(reg, fmt.Sprintf("core%d.cpu", i))
 	}
@@ -501,8 +597,35 @@ func RunMix(mixName string, profs []workload.Profile, cfg Config) MultiResult {
 		cores[i] = cpu.New(cfg.CPU, hiers[i], ctl, src)
 	}
 
+	sampler := newRunSampler(cfg)
+	sampleMix := func() {
+		var now uint64
+		for i := range cores {
+			if cores[i].Now() > now {
+				now = cores[i].Now()
+			}
+		}
+		m := MultiResult{
+			Mem:   ctl.Stats(),
+			Dram:  mem.Stats(),
+			Ratio: memctl.CompressionRatio(ctl),
+		}
+		if ms, ok := ctl.(mdStatser); ok {
+			m.MDCache = ms.MetadataCacheStats()
+		}
+		for i := range cores {
+			m.Cores = append(m.Cores, Result{CPU: cores[i].Stats()})
+		}
+		snap := m.Registry().Snapshot()
+		sampler.Sample(now, snap)
+		if cfg.OnSample != nil {
+			cfg.OnSample(now, snap)
+		}
+	}
+
 	warm := uint64(float64(cfg.Ops) * cfg.WarmupFrac)
 	done := make([]uint64, n) // ops completed per core
+	var steps uint64          // total ops across cores (sampling clock)
 	var op workload.Op
 	// WarmupFrac == 0 means "no warmup": start warmed so the minDone
 	// check below cannot reset the statistics one op into the run
@@ -533,6 +656,10 @@ func RunMix(mixName string, profs []workload.Profile, cfg Config) MultiResult {
 			}
 		}
 		done[sel]++
+		steps++
+		if cfg.SampleEvery > 0 && steps%cfg.SampleEvery == 0 {
+			sampleMix()
+		}
 		if !warmed {
 			var minDone uint64 = 1 << 62
 			for _, d := range done {
@@ -579,6 +706,11 @@ func RunMix(mixName string, profs []workload.Profile, cfg Config) MultiResult {
 		}
 		out.Cores = append(out.Cores, r)
 	}
+	if cfg.SampleEvery > 0 {
+		sampleMix() // close the partial final window at the drained clocks
+	}
+	out.Series = sampler.Series()
+	out.PageSizes = pageSizes(ctl)
 	if auditor != nil {
 		rep := auditor.Final(audit.Structural)
 		tracer.Emit(lastNow, obs.EvAuditRun, obs.NoPage, uint64(len(rep.Violations)))
