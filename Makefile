@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet fmt-check build test race fuzz bench-quick bench-json obs-smoke
+.PHONY: check vet fmt-check build test race fuzz bench-quick bench-json bench-kernels obs-smoke
 
-check: vet fmt-check build test race obs-smoke
+check: vet fmt-check build test race bench-kernels obs-smoke
 
 vet:
 	$(GO) vet ./...
@@ -36,6 +36,15 @@ race:
 bench-quick:
 	$(GO) test -run '^$$' -bench BenchmarkRunAllQuick -benchtime 1x -jobs 1 .
 	$(GO) test -run '^$$' -bench BenchmarkRunAllQuick -benchtime 1x .
+
+# Compression-kernel microbenchmarks (DESIGN.md §10): one iteration
+# each with -benchmem, enough for `check` to catch an allocation
+# regression on the hot paths (the 0-allocs property is also pinned
+# hard by TestSizeOnlyZeroAllocs/TestCompressWithZeroAllocs). Run with
+# a real -benchtime for ns/op numbers.
+bench-kernels:
+	$(GO) test -run '^$$' -bench 'Compress|SizeOnly|Writer|Reader' \
+		-benchmem -benchtime 1x ./internal/compress/ ./internal/bitstream/
 
 # Snapshot the perf-tracking baseline as BENCH_*.json artifacts
 # (DESIGN.md §8): a single-benchmark four-system comparison and one

@@ -111,9 +111,8 @@ func report(lines [][]byte, w io.Writer) {
 	tbl := stats.NewTable("codec", "raw-ratio", "compresso-bins", "legacy-bins", "zero-lines")
 	for _, c := range codecs {
 		var raw, zero int64
-		var buf [compress.LineSize]byte
 		for _, ln := range lines {
-			n := c.Compress(buf[:], ln)
+			n := compress.SizeOnly(c, ln)
 			raw += int64(n)
 			if n == 0 {
 				zero++

@@ -7,20 +7,40 @@
 // byte images stored in simulated main memory. Bits are packed MSB
 // first within each byte, matching the conventional presentation of
 // the FPC and BPC encodings in the literature.
+//
+// The Writer and Reader below work word-at-a-time: the writer packs
+// symbols into a uint64 accumulator and flushes eight bytes at once,
+// the reader consumes whole bytes of its input per iteration. The
+// original bit-at-a-time implementations are retained in reference.go
+// as the executable specification of the format; the differential
+// fuzz target FuzzBitstreamEquivalence pins the two bit-for-bit.
 package bitstream
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
-// Writer accumulates bits MSB-first into an internal buffer.
-// The zero value is an empty writer ready for use.
-type Writer struct {
-	buf  []byte
-	nbit int // total bits written
+// lowMask returns a mask of the width low-order bits. Valid for
+// width in [0, 64] (Go defines shifts >= 64 as producing 0).
+func lowMask(width int) uint64 {
+	return ^uint64(0) >> uint(64-width)
 }
 
-// NewWriter returns a writer with capacity preallocated for n bytes.
+// Writer accumulates bits MSB-first into an internal buffer.
+// The zero value is an empty writer ready for use. Writers are
+// reusable via Reset, which is how codec scratch (compress.Scratch)
+// amortizes the buffer across calls.
+type Writer struct {
+	buf  []byte // fully flushed bytes
+	acc  uint64 // pending bits in the low-order nacc bits (zero when nacc is 0)
+	nacc int    // pending bit count, always < 64
+}
+
+// NewWriter returns a writer with capacity preallocated for n bytes
+// (plus flush headroom, so encoding up to n bytes never reallocates).
 func NewWriter(n int) *Writer {
-	return &Writer{buf: make([]byte, 0, n)}
+	return &Writer{buf: make([]byte, 0, n+8)}
 }
 
 // WriteBits appends the width low-order bits of v, most significant
@@ -29,15 +49,20 @@ func (w *Writer) WriteBits(v uint64, width int) {
 	if width < 0 || width > 64 {
 		panic(fmt.Sprintf("bitstream: invalid width %d", width))
 	}
-	for i := width - 1; i >= 0; i-- {
-		bit := byte((v >> uint(i)) & 1)
-		byteIdx := w.nbit >> 3
-		if byteIdx == len(w.buf) {
-			w.buf = append(w.buf, 0)
-		}
-		w.buf[byteIdx] |= bit << uint(7-(w.nbit&7))
-		w.nbit++
+	v &= lowMask(width)
+	if total := w.nacc + width; total < 64 {
+		w.acc = w.acc<<uint(width) | v
+		w.nacc = total
+		return
 	}
+	// The accumulator fills: emit exactly 64 bits (take from v's high
+	// end) and keep the remainder. take >= 1 because nacc < 64.
+	take := 64 - w.nacc
+	full := w.acc<<uint(take) | v>>uint(width-take)
+	w.buf = binary.BigEndian.AppendUint64(w.buf, full)
+	rem := width - take
+	w.acc = v & lowMask(rem)
+	w.nacc = rem
 }
 
 // WriteBit appends a single bit.
@@ -46,19 +71,39 @@ func (w *Writer) WriteBit(bit uint) {
 }
 
 // Bits returns the total number of bits written so far.
-func (w *Writer) Bits() int { return w.nbit }
+func (w *Writer) Bits() int { return len(w.buf)*8 + w.nacc }
 
 // Len returns the number of bytes needed to hold the written bits.
-func (w *Writer) Len() int { return (w.nbit + 7) / 8 }
+func (w *Writer) Len() int { return (w.Bits() + 7) / 8 }
 
-// Bytes returns the backing buffer. The final byte is zero-padded in
-// its low-order bits. The slice aliases the writer's storage.
-func (w *Writer) Bytes() []byte { return w.buf }
+// Bytes returns the written stream. The final byte is zero-padded in
+// its low-order bits. The slice aliases the writer's storage: it is
+// invalidated by Reset — writers are pooled in codec scratch, so
+// callers must copy the bytes out before the writer is reused — and
+// by any further WriteBits call.
+func (w *Writer) Bytes() []byte {
+	n := w.Len()
+	if cap(w.buf) < n {
+		nb := make([]byte, len(w.buf), n+8)
+		copy(nb, w.buf)
+		w.buf = nb
+	}
+	out := w.buf[:n]
+	acc := w.acc << uint(64-w.nacc) // left-align pending bits
+	for i := len(w.buf); i < n; i++ {
+		out[i] = byte(acc >> 56)
+		acc <<= 8
+	}
+	return out
+}
 
-// Reset clears the writer for reuse without reallocating.
+// Reset clears the writer for reuse without reallocating. Slices
+// previously obtained from Bytes must not be used afterwards: the
+// next writes overwrite the same storage.
 func (w *Writer) Reset() {
 	w.buf = w.buf[:0]
-	w.nbit = 0
+	w.acc = 0
+	w.nacc = 0
 }
 
 // Reader consumes bits MSB-first from a byte slice.
@@ -72,6 +117,13 @@ func NewReader(buf []byte) *Reader {
 	return &Reader{buf: buf}
 }
 
+// Reset repositions the reader over buf, allowing reuse without
+// reallocation.
+func (r *Reader) Reset(buf []byte) {
+	r.buf = buf
+	r.pos = 0
+}
+
 // ReadBits consumes width bits and returns them in the low-order bits
 // of the result. It returns an error if the stream is exhausted.
 func (r *Reader) ReadBits(width int) (uint64, error) {
@@ -81,12 +133,29 @@ func (r *Reader) ReadBits(width int) (uint64, error) {
 	if r.pos+width > len(r.buf)*8 {
 		return 0, fmt.Errorf("bitstream: read of %d bits at position %d overruns %d-byte buffer", width, r.pos, len(r.buf))
 	}
+	pos := r.pos
+	r.pos += width
 	var v uint64
-	for i := 0; i < width; i++ {
-		b := r.buf[r.pos>>3]
-		bit := (b >> uint(7-(r.pos&7))) & 1
-		v = v<<1 | uint64(bit)
-		r.pos++
+	// Leading partial byte.
+	if k := pos & 7; k != 0 {
+		b := uint64(r.buf[pos>>3])
+		avail := 8 - k
+		if width <= avail {
+			return (b >> uint(avail-width)) & lowMask(width), nil
+		}
+		v = b & lowMask(avail)
+		width -= avail
+		pos += avail
+	}
+	// Whole bytes, then a trailing partial byte.
+	idx := pos >> 3
+	for width >= 8 {
+		v = v<<8 | uint64(r.buf[idx])
+		idx++
+		width -= 8
+	}
+	if width > 0 {
+		v = v<<uint(width) | uint64(r.buf[idx])>>uint(8-width)
 	}
 	return v, nil
 }

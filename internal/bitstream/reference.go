@@ -1,0 +1,63 @@
+package bitstream
+
+import "fmt"
+
+// This file retains the original bit-at-a-time Writer and Reader as
+// the executable specification of the MSB-first format. The word-at-
+// a-time implementations in bitstream.go must emit and consume exactly
+// the bytes these do; FuzzBitstreamEquivalence (fuzz_test.go) holds
+// the two together over random symbol sequences. The reference is
+// deliberately simple — one bit per loop iteration — so its
+// correctness is auditable by inspection.
+
+// refWriter is the format-defining bit-at-a-time writer.
+type refWriter struct {
+	buf  []byte
+	nbit int // total bits written
+}
+
+// writeBits appends the width low-order bits of v, most significant
+// first. Width must be in [0, 64].
+func (w *refWriter) writeBits(v uint64, width int) {
+	if width < 0 || width > 64 {
+		panic(fmt.Sprintf("bitstream: invalid width %d", width))
+	}
+	for i := width - 1; i >= 0; i-- {
+		bit := byte((v >> uint(i)) & 1)
+		byteIdx := w.nbit >> 3
+		if byteIdx == len(w.buf) {
+			w.buf = append(w.buf, 0)
+		}
+		w.buf[byteIdx] |= bit << uint(7-(w.nbit&7))
+		w.nbit++
+	}
+}
+
+func (w *refWriter) bits() int     { return w.nbit }
+func (w *refWriter) len() int      { return (w.nbit + 7) / 8 }
+func (w *refWriter) bytes() []byte { return w.buf }
+
+// refReader is the format-defining bit-at-a-time reader.
+type refReader struct {
+	buf []byte
+	pos int // bit position
+}
+
+// readBits consumes width bits and returns them in the low-order bits
+// of the result. It returns an error if the stream is exhausted.
+func (r *refReader) readBits(width int) (uint64, error) {
+	if width < 0 || width > 64 {
+		return 0, fmt.Errorf("bitstream: invalid width %d", width)
+	}
+	if r.pos+width > len(r.buf)*8 {
+		return 0, fmt.Errorf("bitstream: read of %d bits at position %d overruns %d-byte buffer", width, r.pos, len(r.buf))
+	}
+	var v uint64
+	for i := 0; i < width; i++ {
+		b := r.buf[r.pos>>3]
+		bit := (b >> uint(7-(r.pos&7))) & 1
+		v = v<<1 | uint64(bit)
+		r.pos++
+	}
+	return v, nil
+}

@@ -53,8 +53,7 @@ func newTracker(img *workload.Image) *tracker {
 
 func (t *tracker) rawSize(lineAddr uint64) uint8 {
 	t.img.ReadLine(lineAddr, t.buf[:])
-	n := t.codec.Compress(t.buf[:], t.buf[:]) // in-place safe: result <= input
-	return uint8(n)
+	return uint8(compress.SizeOnly(t.codec, t.buf[:]))
 }
 
 // noteStore re-prices one stored-to line and marks its page dirty.

@@ -47,9 +47,11 @@ func bdiSize(e bdiEncoding) int {
 	return 1 + e.base + n*e.delta + (n+7)/8
 }
 
-// Compress implements Codec.
+// Compress implements Codec. BDI needs no bitstream scratch (it writes
+// whole bytes) and is already allocation-free, so there is no separate
+// CompressScratch.
 func (BDI) Compress(dst, src []byte) int {
-	checkLine(src)
+	checkCompressArgs(dst, src)
 	if IsZeroLine(src) {
 		return 0
 	}
@@ -65,13 +67,40 @@ func (BDI) Compress(dst, src []byte) int {
 	return LineSize
 }
 
-func bdiTryRepeat(dst, src []byte) int {
+// SizeOnly implements Sizer: it runs only the fit checks (the first
+// pass of bdiTry) without encoding.
+func (BDI) SizeOnly(src []byte) int {
+	checkLine(src)
+	if IsZeroLine(src) {
+		return 0
+	}
+	if bdiIsRepeat(src) {
+		return 9
+	}
+	for _, e := range bdiEncodings {
+		if bdiFits(src, e) {
+			return bdiSize(e)
+		}
+	}
+	return LineSize
+}
+
+// bdiIsRepeat reports whether the line is one repeated 8-byte value.
+func bdiIsRepeat(src []byte) bool {
 	first := binary.LittleEndian.Uint64(src)
 	for o := 8; o < LineSize; o += 8 {
 		if binary.LittleEndian.Uint64(src[o:]) != first {
-			return 0
+			return false
 		}
 	}
+	return true
+}
+
+func bdiTryRepeat(dst, src []byte) int {
+	if !bdiIsRepeat(src) {
+		return 0
+	}
+	first := binary.LittleEndian.Uint64(src)
 	dst[0] = bdiIDRepeat
 	binary.LittleEndian.PutUint64(dst[1:], first)
 	return 9
@@ -113,14 +142,51 @@ func fitsSigned(v uint64, base, delta int) bool {
 	return sv >= -limit && sv < limit
 }
 
+// bdiMaxElems bounds the element count of any encoding: the smallest
+// base size is 2 bytes, so a line holds at most LineSize/2 elements.
+// Fixed-size buffers keep bdiTry allocation-free.
+const bdiMaxElems = LineSize / 2
+
+// bdiFits reports whether every element of src fits encoding e — the
+// first pass of bdiTry without the buffering or encoding.
+func bdiFits(src []byte, e bdiEncoding) bool {
+	n := LineSize / e.base
+	var base uint64
+	haveBase := false
+	mask := uint64(1)<<uint(e.base*8) - 1
+	if e.base == 8 {
+		mask = ^uint64(0)
+	}
+	for i := 0; i < n; i++ {
+		v := bdiLoadElem(src, e.base, i)
+		if fitsSigned(v, e.base, e.delta) {
+			continue
+		}
+		if !haveBase {
+			base = v
+			haveBase = true
+		}
+		if !fitsSigned((v-base)&mask, e.base, e.delta) {
+			return false
+		}
+	}
+	return true
+}
+
 func bdiTry(dst, src []byte, e bdiEncoding) int {
 	n := LineSize / e.base
 	var base uint64
 	haveBase := false
 	// First pass: find the explicit base (first element that does not
 	// fit the zero base) and verify every element fits one of the two.
-	elems := make([]uint64, n)
-	useZero := make([]bool, n)
+	// Buffering the elements is what makes dst==src aliasing safe: src
+	// is fully read before the encode pass writes dst.
+	var elems [bdiMaxElems]uint64
+	var useZero [bdiMaxElems]bool
+	mask := uint64(1)<<uint(e.base*8) - 1
+	if e.base == 8 {
+		mask = ^uint64(0)
+	}
 	for i := 0; i < n; i++ {
 		v := bdiLoadElem(src, e.base, i)
 		elems[i] = v
@@ -131,10 +197,6 @@ func bdiTry(dst, src []byte, e bdiEncoding) int {
 		if !haveBase {
 			base = v
 			haveBase = true
-		}
-		mask := uint64(1)<<uint(e.base*8) - 1
-		if e.base == 8 {
-			mask = ^uint64(0)
 		}
 		if !fitsSigned((v-base)&mask, e.base, e.delta) {
 			return 0

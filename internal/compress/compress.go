@@ -18,7 +18,10 @@
 //     Decompress can expand given exactly n bytes.
 package compress
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // LineSize is the compression granularity in bytes: one CPU cache line.
 const LineSize = 64
@@ -33,8 +36,12 @@ type Codec interface {
 
 	// Compress encodes the 64-byte line src into dst and returns the
 	// number of bytes written, following the package size conventions.
-	// dst must have room for LineSize bytes. It panics if len(src) is
-	// not LineSize (programmer error, not data error).
+	// dst must have room for LineSize bytes; it panics if len(src) is
+	// not LineSize or len(dst) is short (programmer error, not data
+	// error). dst may alias src: every codec fully reads src before
+	// writing dst, a guarantee the capacity tracker and CompressPoints
+	// profiler historically relied on when recompressing in place and
+	// which TestCompressAliasedDst pins for all codecs.
 	Compress(dst, src []byte) int
 
 	// Decompress expands a compressed stream of exactly the length
@@ -73,9 +80,10 @@ func Ratio(c Codec, bins Bins, lines [][]byte) float64 {
 		total += bins.Fit(Size(c, ln))
 	}
 	if total == 0 {
-		// All-zero data compresses "infinitely"; report the count of a
-		// single metadata-sized remainder to keep the figure finite.
-		total = 1
+		// All-zero data compresses "infinitely"; charge a single
+		// metadata-sized remainder per line to keep the figure finite
+		// and bounded (LineSize) regardless of sample count.
+		total = len(lines)
 	}
 	return float64(len(lines)*LineSize) / float64(total)
 }
@@ -86,22 +94,27 @@ func checkLine(src []byte) {
 	}
 }
 
+// checkCompressArgs enforces the Compress contract: src exactly one
+// line, dst with room for a raw copy. dst may alias src.
+func checkCompressArgs(dst, src []byte) {
+	checkLine(src)
+	if len(dst) < LineSize {
+		panic(fmt.Sprintf("compress: dst length %d, want >= %d", len(dst), LineSize))
+	}
+}
+
 func loadWords(src []byte) [WordsPerLine]uint32 {
 	var w [WordsPerLine]uint32
 	for i := range w {
-		o := i * 4
 		// Little-endian, matching the x86 systems the paper models.
-		w[i] = uint32(src[o]) | uint32(src[o+1])<<8 | uint32(src[o+2])<<16 | uint32(src[o+3])<<24
+		// binary.LittleEndian compiles to a single 32-bit load.
+		w[i] = binary.LittleEndian.Uint32(src[i*4:])
 	}
 	return w
 }
 
 func storeWords(dst []byte, w [WordsPerLine]uint32) {
 	for i, v := range w {
-		o := i * 4
-		dst[o] = byte(v)
-		dst[o+1] = byte(v >> 8)
-		dst[o+2] = byte(v >> 16)
-		dst[o+3] = byte(v >> 24)
+		binary.LittleEndian.PutUint32(dst[i*4:], v)
 	}
 }

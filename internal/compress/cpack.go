@@ -64,13 +64,20 @@ func (d *cpackDict) match(w uint32) (idx int, bytes int) {
 }
 
 // Compress implements Codec.
-func (CPack) Compress(dst, src []byte) int {
-	checkLine(src)
+func (c CPack) Compress(dst, src []byte) int {
+	var s Scratch
+	return c.CompressScratch(dst, src, &s)
+}
+
+// CompressScratch implements ScratchCompressor.
+func (CPack) CompressScratch(dst, src []byte, s *Scratch) int {
+	checkCompressArgs(dst, src)
 	if IsZeroLine(src) {
 		return 0
 	}
 	words := loadWords(src)
-	w := bitstream.NewWriter(LineSize)
+	w := &s.wa
+	w.Reset()
 	var dict cpackDict
 	for _, v := range words {
 		switch {
@@ -113,6 +120,50 @@ func (CPack) Compress(dst, src []byte) int {
 	}
 	copy(dst, w.Bytes())
 	return w.Len()
+}
+
+// SizeOnly implements Sizer: the same dictionary walk as Compress —
+// pushes included, since they change later match lengths — counting
+// code widths instead of emitting them.
+func (CPack) SizeOnly(src []byte) int {
+	checkLine(src)
+	if IsZeroLine(src) {
+		return 0
+	}
+	words := loadWords(src)
+	var dict cpackDict
+	bits := 0
+	for _, v := range words {
+		switch {
+		case v == 0:
+			bits += 2
+			continue
+		case v <= 0xff:
+			bits += 4 + 8
+			continue
+		case v <= 0xffff:
+			bits += 4 + 16
+			continue
+		}
+		_, n := dict.match(v)
+		switch n {
+		case 4:
+			bits += 2 + cpackIdxBits
+		case 3:
+			bits += 4 + cpackIdxBits + 8
+			dict.push(v)
+		case 2:
+			bits += 4 + cpackIdxBits + 16
+			dict.push(v)
+		default:
+			bits += 2 + 32
+			dict.push(v)
+		}
+	}
+	if n := (bits + 7) / 8; n < LineSize {
+		return n
+	}
+	return LineSize
 }
 
 // Decompress implements Codec.

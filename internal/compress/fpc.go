@@ -38,13 +38,20 @@ func seFits(v uint32, bits int) bool {
 }
 
 // Compress implements Codec.
-func (FPC) Compress(dst, src []byte) int {
-	checkLine(src)
+func (c FPC) Compress(dst, src []byte) int {
+	var s Scratch
+	return c.CompressScratch(dst, src, &s)
+}
+
+// CompressScratch implements ScratchCompressor.
+func (FPC) CompressScratch(dst, src []byte, s *Scratch) int {
+	checkCompressArgs(dst, src)
 	if IsZeroLine(src) {
 		return 0
 	}
 	words := loadWords(src)
-	w := bitstream.NewWriter(LineSize)
+	w := &s.wa
+	w.Reset()
 	for i := 0; i < WordsPerLine; {
 		v := words[i]
 		if v == 0 {
@@ -89,6 +96,50 @@ func (FPC) Compress(dst, src []byte) int {
 	}
 	copy(dst, w.Bytes())
 	return w.Len()
+}
+
+// SizeOnly implements Sizer: same word walk as Compress, counting
+// prefix+payload widths instead of emitting them.
+func (FPC) SizeOnly(src []byte) int {
+	checkLine(src)
+	if IsZeroLine(src) {
+		return 0
+	}
+	words := loadWords(src)
+	bits := 0
+	for i := 0; i < WordsPerLine; {
+		v := words[i]
+		if v == 0 {
+			run := 1
+			for i+run < WordsPerLine && words[i+run] == 0 && run < 8 {
+				run++
+			}
+			bits += 3 + 3
+			i += run
+			continue
+		}
+		switch {
+		case seFits(v, 4):
+			bits += 3 + 4
+		case seFits(v, 8):
+			bits += 3 + 8
+		case seFits(v, 16):
+			bits += 3 + 16
+		case v&0xffff == 0:
+			bits += 3 + 16
+		case halfSE(v):
+			bits += 3 + 16
+		case repByte(v):
+			bits += 3 + 8
+		default:
+			bits += 3 + 32
+		}
+		i++
+	}
+	if n := (bits + 7) / 8; n < LineSize {
+		return n
+	}
+	return LineSize
 }
 
 // halfSE reports whether both 16-bit halves of v sign-extend from a

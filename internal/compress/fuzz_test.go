@@ -99,6 +99,46 @@ func FuzzBPCRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzCodecSizeOnly pins the Sizer contract on arbitrary line
+// contents: SizeOnly must equal what Compress returns, for every
+// codec, and CompressWith must match Compress byte-for-byte.
+func FuzzCodecSizeOnly(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var line [LineSize]byte
+		copy(line[:], data)
+		var s Scratch
+		for _, c := range []Codec{BPC{}, BPC{DisableBestOf: true}, BDI{}, FPC{}, CPack{}, LZ{}} {
+			var comp, comp2 [LineSize]byte
+			n := c.Compress(comp[:], line[:])
+			if got := SizeOnly(c, line[:]); got != n {
+				t.Fatalf("%s: SizeOnly = %d, Compress = %d", c.Name(), got, n)
+			}
+			n2 := CompressWith(c, comp2[:], line[:], &s)
+			if n2 != n || !bytes.Equal(comp2[:n2], comp[:n]) {
+				t.Fatalf("%s: CompressWith diverges from Compress (%d vs %d bytes)", c.Name(), n2, n)
+			}
+		}
+	})
+}
+
+// FuzzLZSizeBlock extends the size-only pin to the block compressor at
+// arbitrary block sizes, where the per-token early exit and offset
+// widths differ from the 64 B line case.
+func FuzzLZSizeBlock(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 || len(data) > 4096 {
+			return
+		}
+		dst := make([]byte, len(data))
+		n := LZCompressBlock(dst, data)
+		if got := LZSizeBlock(data); got != n {
+			t.Fatalf("LZSizeBlock = %d, LZCompressBlock = %d (block %d bytes)", got, n, len(data))
+		}
+	})
+}
+
 func FuzzLZBlockRoundTrip(f *testing.F) {
 	fuzzSeeds(f)
 	f.Fuzz(func(t *testing.T, data []byte) {

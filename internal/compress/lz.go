@@ -33,41 +33,48 @@ func lzOffBits(blockSize int) int {
 	return bits.Len(uint(blockSize - 1))
 }
 
+// lzBestMatch finds the greedy longest match for position i within the
+// already-emitted window. Shared by the compress and size-only walks so
+// the two cannot drift.
+func lzBestMatch(src []byte, i, offBits int) (bestLen, bestOff int) {
+	maxBack := i
+	if maxBack > 1<<offBits {
+		maxBack = 1 << offBits
+	}
+	for off := 1; off <= maxBack; off++ {
+		l := 0
+		for i+l < len(src) && l < lzMaxMatch && src[i+l] == src[i-off+l] {
+			l++
+		}
+		if l > bestLen {
+			bestLen, bestOff = l, off
+		}
+	}
+	return bestLen, bestOff
+}
+
 // LZCompressBlock compresses src into dst following the package size
 // conventions generalized to the block size: 0 means all-zero,
 // len(src) means stored raw. dst must hold len(src) bytes.
 func LZCompressBlock(dst, src []byte) int {
+	var s Scratch
+	return LZCompressBlockScratch(dst, src, &s)
+}
+
+// LZCompressBlockScratch is LZCompressBlock drawing its writer from
+// caller-owned scratch.
+func LZCompressBlockScratch(dst, src []byte, s *Scratch) int {
 	if len(src) == 0 {
 		return 0
 	}
-	allZero := true
-	for _, b := range src {
-		if b != 0 {
-			allZero = false
-			break
-		}
-	}
-	if allZero {
+	if IsZeroLine(src) {
 		return 0
 	}
 	offBits := lzOffBits(len(src))
-	w := bitstream.NewWriter(len(src))
+	w := &s.wa
+	w.Reset()
 	for i := 0; i < len(src); {
-		bestLen, bestOff := 0, 0
-		// Greedy longest match within the already-emitted window.
-		maxBack := i
-		if maxBack > 1<<offBits {
-			maxBack = 1 << offBits
-		}
-		for off := 1; off <= maxBack; off++ {
-			l := 0
-			for i+l < len(src) && l < lzMaxMatch && src[i+l] == src[i-off+l] {
-				l++
-			}
-			if l > bestLen {
-				bestLen, bestOff = l, off
-			}
-		}
+		bestLen, bestOff := lzBestMatch(src, i, offBits)
 		if bestLen >= lzMinMatch {
 			w.WriteBit(1)
 			w.WriteBits(uint64(bestOff-1), offBits)
@@ -85,6 +92,35 @@ func LZCompressBlock(dst, src []byte) int {
 	}
 	copy(dst, w.Bytes())
 	return w.Len()
+}
+
+// LZSizeBlock returns exactly what LZCompressBlock would return for
+// src without materializing the stream. It replicates the per-token
+// early exit: as soon as the counted bits round up to len(src) bytes,
+// the compressor would store the block raw.
+func LZSizeBlock(src []byte) int {
+	if len(src) == 0 {
+		return 0
+	}
+	if IsZeroLine(src) {
+		return 0
+	}
+	offBits := lzOffBits(len(src))
+	nbits := 0
+	for i := 0; i < len(src); {
+		bestLen, _ := lzBestMatch(src, i, offBits)
+		if bestLen >= lzMinMatch {
+			nbits += 1 + offBits + lzLenBits
+			i += bestLen
+		} else {
+			nbits += 1 + 8
+			i++
+		}
+		if (nbits+7)/8 >= len(src) {
+			return len(src)
+		}
+	}
+	return (nbits + 7) / 8
 }
 
 // LZDecompressBlock expands a stream produced by LZCompressBlock into
@@ -151,8 +187,20 @@ func (LZ) Name() string { return "lz" }
 
 // Compress implements Codec.
 func (LZ) Compress(dst, src []byte) int {
-	checkLine(src)
+	checkCompressArgs(dst, src)
 	return LZCompressBlock(dst, src)
+}
+
+// CompressScratch implements ScratchCompressor.
+func (LZ) CompressScratch(dst, src []byte, s *Scratch) int {
+	checkCompressArgs(dst, src)
+	return LZCompressBlockScratch(dst, src, s)
+}
+
+// SizeOnly implements Sizer.
+func (LZ) SizeOnly(src []byte) int {
+	checkLine(src)
+	return LZSizeBlock(src)
 }
 
 // Decompress implements Codec.

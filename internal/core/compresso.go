@@ -70,7 +70,6 @@ type Controller struct {
 
 	chunkBaseLine uint64
 	lineBuf       [memctl.LineBytes]byte
-	compBuf       [memctl.LineBytes]byte
 }
 
 var _ memctl.Controller = (*Controller)(nil)
@@ -253,9 +252,11 @@ func ceilDiv(a, b int) int { return (a + b - 1) / b }
 
 // --- compression helpers ---------------------------------------------
 
-// compressCode returns the bin code of data under the configured codec.
+// compressCode returns the bin code of data under the configured
+// codec. Only the size matters here, so this rides the codec's
+// allocation-free size-only path.
 func (c *Controller) compressCode(data []byte) uint8 {
-	n := c.cfg.Codec.Compress(c.compBuf[:], data)
+	n := compress.SizeOnly(c.cfg.Codec, data)
 	return uint8(c.cfg.Bins.Code(n))
 }
 

@@ -49,7 +49,7 @@ func Profile(prof workload.Profile, seed uint64, intervals int, opsPerInterval u
 	var buf [memctl.LineBytes]byte
 	binOf := func(addr uint64) uint8 {
 		img.ReadLine(addr, buf[:])
-		return uint8(bins.Code(codec.Compress(buf[:], buf[:])))
+		return uint8(bins.Code(compress.SizeOnly(codec, buf[:])))
 	}
 
 	out := make([]Interval, 0, intervals)

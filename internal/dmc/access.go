@@ -111,7 +111,7 @@ func (c *Controller) priceCold(page uint64, p *dmcPage) {
 			c.source.ReadLine(page*metadata.LinesPerPage+uint64(line), c.lineBuf[:])
 			copy(c.blockBuf[l*memctl.LineBytes:], c.lineBuf[:])
 		}
-		n := compress.LZCompressBlock(c.blockComp[:], c.blockBuf[:])
+		n := compress.LZSizeBlock(c.blockBuf[:])
 		// Blocks are stored line-aligned for sane offsets.
 		p.blockBytes[b] = (n + memctl.LineBytes - 1) &^ (memctl.LineBytes - 1)
 	}
@@ -357,7 +357,7 @@ func (c *Controller) repriceBlock(page uint64, p *dmcPage, b int) {
 		c.source.ReadLine(page*metadata.LinesPerPage+uint64(line), c.lineBuf[:])
 		copy(c.blockBuf[l*memctl.LineBytes:], c.lineBuf[:])
 	}
-	n := compress.LZCompressBlock(c.blockComp[:], c.blockBuf[:])
+	n := compress.LZSizeBlock(c.blockBuf[:])
 	p.blockBytes[b] = (n + memctl.LineBytes - 1) &^ (memctl.LineBytes - 1)
 }
 

@@ -123,10 +123,8 @@ type Controller struct {
 	MechanismSwitches uint64
 
 	chunkBaseLine uint64
-	compBuf       [memctl.LineBytes]byte
 	lineBuf       [memctl.LineBytes]byte
 	blockBuf      [LZBlockBytes]byte
-	blockComp     [LZBlockBytes]byte
 	pinned        uint64
 	hasPinned     bool
 
@@ -249,6 +247,6 @@ func (c *Controller) allocBlock(chunks int) uint32 {
 }
 
 func (c *Controller) compressCode(data []byte) uint8 {
-	n := c.cfg.HotCodec.Compress(c.compBuf[:], data)
+	n := compress.SizeOnly(c.cfg.HotCodec, data)
 	return uint8(c.cfg.Bins.Code(n))
 }

@@ -5,7 +5,6 @@ import (
 
 	"compresso/internal/compress"
 	"compresso/internal/core"
-	"compresso/internal/memctl"
 	"compresso/internal/sim"
 	"compresso/internal/stats"
 	"compresso/internal/workload"
@@ -158,7 +157,6 @@ func BPCVariantsData(opt Options) []BPCVariantRow {
 		prof := profs[i]
 		best := compress.BPC{}
 		baseline := compress.BPC{DisableBestOf: true}
-		var buf [memctl.LineBytes]byte
 		prof.FootprintPages /= opt.scale()
 		if prof.FootprintPages < 16 {
 			prof.FootprintPages = 16
@@ -167,8 +165,8 @@ func BPCVariantsData(opt Options) []BPCVariantRow {
 		var bb, bl int64
 		for p := uint64(0); p < uint64(prof.FootprintPages); p++ {
 			for _, line := range img.Page(p) {
-				bb += int64(best.Compress(buf[:], line))
-				bl += int64(baseline.Compress(buf[:], line))
+				bb += int64(compress.SizeOnly(best, line))
+				bl += int64(compress.SizeOnly(baseline, line))
 			}
 		}
 		saving := 0.0

@@ -10,6 +10,17 @@ import (
 	"compresso/internal/workload"
 )
 
+// lineSize8 narrows a compressed line size to the uint8 the per-page
+// size tables store. Sizes are <= 64 for every current codec; the
+// guard keeps a future codec or granularity change from silently
+// truncating.
+func lineSize8(n int) uint8 {
+	if n < 0 || n > 255 {
+		panic(fmt.Sprintf("experiments: compressed size %d does not fit uint8", n))
+	}
+	return uint8(n)
+}
+
 // Fig2Row is one benchmark's compression ratios under the four
 // algorithm × packing combinations of Fig. 2.
 type Fig2Row struct {
@@ -35,7 +46,6 @@ func Fig2Data(opt Options) []Fig2Row {
 		}
 		img := workload.NewImage(prof, opt.seed())
 		row := Fig2Row{Bench: prof.Name}
-		var buf [memctl.LineBytes]byte
 		bpc, bdi := compress.BPC{}, compress.BDI{}
 
 		var footprint, lpBPC, lcpBPC, lpBDI, lcpBDI int64
@@ -43,9 +53,8 @@ func Fig2Data(opt Options) []Fig2Row {
 		for p := uint64(0); p < uint64(prof.FootprintPages); p++ {
 			page := img.Page(p)
 			for i, line := range page {
-				copy(buf[:], line)
-				rawsBPC[i] = uint8(bpc.Compress(buf[:], line))
-				rawsBDI[i] = uint8(bdi.Compress(buf[:], line))
+				rawsBPC[i] = lineSize8(compress.SizeOnly(bpc, line))
+				rawsBDI[i] = lineSize8(compress.SizeOnly(bdi, line))
 			}
 			footprint += memctl.PageSize
 			lpBPC += int64(capacity.LinePackPageBytes(rawsBPC[:], compress.LegacyBins))

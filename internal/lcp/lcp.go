@@ -124,7 +124,6 @@ type Controller struct {
 	chunkBaseLine uint64
 	pinned        uint64
 	hasPinned     bool
-	compBuf       [memctl.LineBytes]byte
 	lineBuf       [memctl.LineBytes]byte
 	name          string
 
@@ -193,7 +192,7 @@ func (c *Controller) checkPage(page uint64) {
 }
 
 func (c *Controller) compressCode(data []byte) uint8 {
-	n := c.cfg.Codec.Compress(c.compBuf[:], data)
+	n := compress.SizeOnly(c.cfg.Codec, data)
 	return uint8(c.cfg.Bins.Code(n))
 }
 

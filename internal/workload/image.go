@@ -151,7 +151,7 @@ func (im *Image) MeasureRatio(codec compress.Codec, bins compress.Bins, stride i
 	total, count := 0, 0
 	for p := uint64(0); p < uint64(im.prof.FootprintPages); p += uint64(stride) {
 		for _, line := range im.Page(p) {
-			total += bins.Fit(compress.Size(codec, line))
+			total += bins.Fit(compress.SizeOnly(codec, line))
 			count++
 		}
 	}

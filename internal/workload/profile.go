@@ -187,7 +187,7 @@ func measureBinnedSize(m datagen.Mix) float64 {
 	total := 0
 	for i := 0; i < n; i++ {
 		line := datagen.Line(r, m.Pick(r))
-		total += compress.LegacyBins.Fit(compress.Size(codec, line))
+		total += compress.LegacyBins.Fit(compress.SizeOnly(codec, line))
 	}
 	return float64(total) / n
 }
