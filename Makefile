@@ -2,10 +2,12 @@
 # is the gate a change must pass before merging (see README).
 
 GO ?= go
+# Worker count for the chaos/soak harnesses (0 = all cores).
+JOBS ?= 0
 
-.PHONY: check vet fmt-check build test race fuzz bench-quick bench-json bench-kernels obs-smoke
+.PHONY: check vet fmt-check build test race fuzz bench-quick bench-json bench-kernels obs-smoke chaos soak
 
-check: vet fmt-check build test race bench-kernels obs-smoke
+check: vet fmt-check build test race bench-kernels obs-smoke chaos
 
 vet:
 	$(GO) vet ./...
@@ -87,6 +89,60 @@ obs-smoke:
 	curl -sf "http://$$addr/metrics" > .obs-smoke/metrics.txt; \
 	.obs-smoke/compresso-sim -promcheck .obs-smoke/metrics.txt; \
 	echo "obs-smoke: ok ($$addr)"
+
+# Deterministic in-process chaos sweep (DESIGN.md §11): journaled
+# quarantine passes under seed-varied panic/transient/delay injection,
+# then a clean resume that must exit 0 with text and artifacts
+# byte-identical to an undisrupted run. Exit codes 1 (fatal abort) and
+# 3 (quarantined cells) are legitimate mid-loop outcomes — the journal
+# keeps every surviving cell, so each pass only shrinks the remainder.
+chaos:
+	@rm -rf .chaos; mkdir -p .chaos/ref-json .chaos/out-json
+	@$(GO) build -o .chaos/compresso-sim ./cmd/compresso-sim
+	@set -e; trap 'rm -rf .chaos' EXIT; \
+	.chaos/compresso-sim -exp fig2 -quick -jobs $(JOBS) -json .chaos/ref-json > .chaos/ref.txt; \
+	for i in 1 2 3 4 5; do \
+		set +e; \
+		.chaos/compresso-sim -exp fig2 -quick -jobs $(JOBS) -journal .chaos/journal \
+			-chaos 'cellpanic:0.15,celltransient:0.15,celldelay:0.2' -chaos-seed $$i -chaos-delay 1ms \
+			-retry 3 -retry-base 1ms -retry-cap 20ms -quarantine \
+			> /dev/null 2> .chaos/err.txt; rc=$$?; set -e; \
+		case $$rc in 0) break ;; 1|3) ;; \
+			*) echo "chaos: pass $$i unexpected exit $$rc"; cat .chaos/err.txt; exit 1 ;; esac; \
+	done; \
+	.chaos/compresso-sim -exp fig2 -quick -jobs $(JOBS) -resume .chaos/journal \
+		-json .chaos/out-json > .chaos/out.txt 2> .chaos/err.txt; \
+	cmp -s .chaos/out.txt .chaos/ref.txt || { echo "chaos: resumed output diverged from clean run"; exit 1; }; \
+	ref_sha=$$(cd .chaos/ref-json && sha256sum * | sha256sum); \
+	out_sha=$$(cd .chaos/out-json && sha256sum * | sha256sum); \
+	[ "$$ref_sha" = "$$out_sha" ] || { echo "chaos: artifacts diverged from clean run"; exit 1; }; \
+	echo "chaos: ok (output and artifacts byte-identical after chaos + resume)"
+
+# Longer kill/resume soak (DESIGN.md §11): the cellkill chaos site
+# SIGKILLs the journaled run mid-sweep at seed-varied progress points;
+# each resume replays the journal and advances until a pass survives,
+# then a clean resume is sha-verified against the undisrupted run.
+soak:
+	@rm -rf .soak; mkdir -p .soak/ref-json .soak/out-json
+	@$(GO) build -o .soak/compresso-sim ./cmd/compresso-sim
+	@set -e; trap 'rm -rf .soak' EXIT; \
+	.soak/compresso-sim -exp fig2 -quick -jobs $(JOBS) -json .soak/ref-json > .soak/ref.txt; \
+	for i in 1 2 3 4 5 6 7 8; do \
+		set +e; \
+		.soak/compresso-sim -exp fig2 -quick -jobs $(JOBS) -journal .soak/journal \
+			-chaos cellkill:0.08 -chaos-seed $$i \
+			> /dev/null 2> .soak/err.txt; rc=$$?; set -e; \
+		[ $$rc -eq 0 ] && break; \
+		[ $$rc -eq 137 ] || { echo "soak: pass $$i unexpected exit $$rc"; cat .soak/err.txt; exit 1; }; \
+		echo "soak: pass $$i SIGKILLed with $$(wc -l < .soak/journal/journal.jsonl) cells journaled"; \
+	done; \
+	.soak/compresso-sim -exp fig2 -quick -jobs $(JOBS) -resume .soak/journal \
+		-json .soak/out-json > .soak/out.txt 2> .soak/err.txt; \
+	cmp -s .soak/out.txt .soak/ref.txt || { echo "soak: resumed output diverged from clean run"; exit 1; }; \
+	ref_sha=$$(cd .soak/ref-json && sha256sum * | sha256sum); \
+	out_sha=$$(cd .soak/out-json && sha256sum * | sha256sum); \
+	[ "$$ref_sha" = "$$out_sha" ] || { echo "soak: artifacts diverged from clean run"; exit 1; }; \
+	echo "soak: ok (survived SIGKILL loop; output and artifacts byte-identical)"
 
 # Longer fuzz of the controller invariants (the default corpus runs
 # as part of `test`).

@@ -10,18 +10,24 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"syscall"
+	"time"
 
 	"compresso/internal/audit"
 	"compresso/internal/capacity"
 	"compresso/internal/experiments"
 	"compresso/internal/faults"
+	"compresso/internal/journal"
 	"compresso/internal/memctl"
 	"compresso/internal/obs"
 	"compresso/internal/obshttp"
@@ -30,6 +36,16 @@ import (
 	"compresso/internal/sim"
 	"compresso/internal/stats"
 	"compresso/internal/workload"
+)
+
+// Exit codes (DESIGN.md §11): 0 success, 1 fatal error, 2 usage/flag
+// error, 3 degraded completion (quarantined cell failures, or an
+// interrupted run that flushed its journal and artifacts).
+const (
+	exitOK       = 0
+	exitFatal    = 1
+	exitUsage    = 2
+	exitDegraded = 3
 )
 
 func main() {
@@ -60,6 +76,17 @@ func main() {
 		traceOut  = flag.String("trace-out", "", "write a Chrome/Perfetto trace-event JSON file (controller events + experiment cell spans) on exit")
 		jsonSum   = flag.Bool("json-summary", false, "shrink -json run artifacts: drop raw trace events, keep trace counts and all metrics")
 		promCheck = flag.String("promcheck", "", "validate a Prometheus text exposition file ('-' for stdin) and exit")
+
+		journalDir = flag.String("journal", "", "with -exp: journal completed grid cells into DIR/journal.jsonl; an interrupted run resumed from the same DIR re-executes only the remainder")
+		resumeDir  = flag.String("resume", "", "with -exp: resume from an existing journal directory (DIR/journal.jsonl must exist); implies -journal DIR")
+		retryN     = flag.Int("retry", 1, "with -exp: attempts per grid cell (>= 1); transient failures and cell timeouts retry with exponential backoff")
+		retryBase  = flag.Duration("retry-base", 10*time.Millisecond, "with -exp: backoff before the first retry (doubles per retry, deterministic jitter)")
+		retryCap   = flag.Duration("retry-cap", 2*time.Second, "with -exp: backoff ceiling")
+		cellTO     = flag.Duration("cell-timeout", 0, "with -exp: per-attempt deadline for one grid cell (0 disables); expiry is retryable")
+		quarantine = flag.Bool("quarantine", false, "with -exp: partial-results mode — failing cells are quarantined into a failure manifest and the run completes with exit code 3")
+		chaosSpec  = flag.String("chaos", "", "with -exp: chaos spec, e.g. cellpanic:0.02,celltransient:0.1 (sites: cellpanic, celltransient, celldelay, cellkill)")
+		chaosSeed  = flag.Uint64("chaos-seed", 1, "seed for the chaos decision streams")
+		chaosDelay = flag.Duration("chaos-delay", 2*time.Millisecond, "stall injected when the celldelay chaos site fires")
 	)
 	flag.Parse()
 
@@ -92,19 +119,33 @@ func main() {
 	// An explicit -seed makes any value authoritative, including 0
 	// (which would otherwise alias the default 42); an explicit
 	// -trace-events must be a usable ring capacity.
-	seedSet, traceSet := false, false
+	seedSet, traceSet, jobsSet := false, false, false
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "seed":
 			seedSet = true
 		case "trace-events":
 			traceSet = true
+		case "jobs":
+			jobsSet = true
 		}
 	})
-	if err := validateTraceEvents(traceSet, *traceEv); err != nil {
+	usageErr := func(err error) {
 		fmt.Fprintln(os.Stderr, "compresso-sim:", err)
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
+	}
+	if err := validateTraceEvents(traceSet, *traceEv); err != nil {
+		usageErr(err)
+	}
+	rf := resilienceFlags{
+		Exp: *exp, JobsSet: jobsSet, Jobs: *jobs,
+		Journal: *journalDir, Resume: *resumeDir,
+		Retry: *retryN, RetryBase: *retryBase, RetryCap: *retryCap,
+		CellTimeout: *cellTO, Quarantine: *quarantine, Chaos: *chaosSpec,
+	}
+	if err := rf.validate(); err != nil {
+		usageErr(err)
 	}
 
 	// Live-introspection sinks. All of them observe the run from the
@@ -144,6 +185,58 @@ func main() {
 		Progress: progress.Multi(sinks...),
 	}
 
+	// Resilience wiring for experiment runs (DESIGN.md §11): a signal-
+	// canceled context so SIGINT/SIGTERM drain the grids gracefully
+	// (journal, artifacts and trace for completed cells still flush; a
+	// second signal kills immediately), plus the retry / quarantine /
+	// chaos / journal options.
+	var (
+		expCtx   context.Context
+		jrnl     *journal.Journal
+		failures *parallel.FailureLog
+		chaos    *faults.Chaos
+	)
+	if *exp != "" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		go func() {
+			<-ctx.Done()
+			stop() // restore default handling: a second signal terminates
+		}()
+		expCtx = ctx
+		expOpts.Ctx = ctx
+		expOpts.CellTimeout = *cellTO
+		if *retryN > 1 {
+			expOpts.Retry = parallel.RetryPolicy{
+				MaxAttempts: *retryN, BaseBackoff: *retryBase,
+				MaxBackoff: *retryCap, Seed: *seed,
+			}
+		}
+		expOpts.Quarantine = *quarantine
+		if *quarantine {
+			failures = &parallel.FailureLog{}
+			expOpts.Failures = failures
+		}
+		if *chaosSpec != "" {
+			ccfg, err := faults.ParseChaosSpec(*chaosSpec, *chaosSeed)
+			if err != nil {
+				usageErr(err)
+			}
+			ccfg.Delay = *chaosDelay
+			chaos = faults.NewChaos(ccfg)
+			expOpts.Chaos = chaos
+		}
+		if dir := rf.journalDir(); dir != "" {
+			j, err := journal.Open(dir)
+			if err != nil {
+				fatal(err)
+			}
+			jrnl = j
+			expOpts.Journal = j
+		}
+	}
+
+	var runErr error
 	switch {
 	case *list:
 		tbl := stats.NewTable("experiment", "description")
@@ -154,13 +247,9 @@ func main() {
 	case *exp == "all":
 		// RunAll recovers from per-experiment panics so one broken
 		// artifact does not kill the batch.
-		if err := experiments.RunAll(expOpts); err != nil {
-			fatal(err)
-		}
+		runErr = experiments.RunAll(expOpts)
 	case *exp != "":
-		if err := experiments.Run(*exp, expOpts); err != nil {
-			fatal(err)
-		}
+		runErr = experiments.Run(*exp, expOpts)
 	case *bench != "" && *capFrac > 0:
 		runCapacity(*bench, *capFrac, *ops, *scale, *seed)
 	case *bench != "":
@@ -179,9 +268,66 @@ func main() {
 	if term != nil {
 		term.Finish()
 	}
+	if jrnl != nil {
+		if err := jrnl.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "compresso-sim: closing journal:", err)
+		}
+		fmt.Fprintf(os.Stderr, "compresso-sim: journal %s: %s\n", jrnl.Path(), jrnl.Stats())
+	}
 	if *traceOut != "" {
 		writeTraceOut(*traceOut, tracker)
 	}
+	if chaos != nil {
+		fmt.Fprintf(os.Stderr, "compresso-sim: chaos: %s\n", chaos.Totals())
+	}
+	writeFailureManifest(failures, *jsonDir)
+
+	// Exit code: an interrupt or quarantined failures end a run that
+	// still flushed everything it completed — exit 3, distinct from a
+	// fatal error's exit 1.
+	code := exitOK
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "compresso-sim:", runErr)
+		code = exitFatal
+	}
+	if expCtx != nil && expCtx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "compresso-sim: interrupted; journal, artifacts and trace cover the completed cells")
+		code = exitDegraded
+	} else if failures != nil && failures.Len() > 0 && runErr == nil {
+		code = exitDegraded
+	}
+	if code != exitOK {
+		finishProfiles()
+		if server != nil {
+			server.Close()
+		}
+		os.Exit(code)
+	}
+}
+
+// writeFailureManifest reports quarantined cells: one stderr line per
+// failure and, under -json, a "failures" artifact carrying the full
+// manifest.
+func writeFailureManifest(failures *parallel.FailureLog, jsonDir string) {
+	if failures == nil || failures.Len() == 0 {
+		return
+	}
+	all := failures.All()
+	fmt.Fprintf(os.Stderr, "compresso-sim: %d cell(s) quarantined:\n", len(all))
+	for _, f := range all {
+		fmt.Fprintf(os.Stderr, "  %s\n", f)
+	}
+	if jsonDir == "" {
+		return
+	}
+	path, err := obs.WriteArtifact(jsonDir, obs.Artifact{
+		Kind: "failures", Name: "quarantine", Data: all,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compresso-sim: writing failure manifest:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "compresso-sim: wrote failure manifest %s\n", path)
 }
 
 // validateTraceEvents rejects an explicitly-set non-positive
@@ -193,6 +339,77 @@ func main() {
 func validateTraceEvents(set bool, n int) error {
 	if set && n <= 0 {
 		return fmt.Errorf("-trace-events must be a positive ring capacity (got %d); omit the flag to disable tracing", n)
+	}
+	return nil
+}
+
+// resilienceFlags is the validated view of the resilience-related CLI
+// flags; validate turns every nonsensical combination into an
+// actionable flag error (exit 2) instead of a silent misbehavior.
+type resilienceFlags struct {
+	Exp         string
+	JobsSet     bool
+	Jobs        int
+	Journal     string
+	Resume      string
+	Retry       int
+	RetryBase   time.Duration
+	RetryCap    time.Duration
+	CellTimeout time.Duration
+	Quarantine  bool
+	Chaos       string
+}
+
+// journalDir resolves the run's journal directory (-resume implies
+// journaling into the resumed directory).
+func (f resilienceFlags) journalDir() string {
+	if f.Resume != "" {
+		return f.Resume
+	}
+	return f.Journal
+}
+
+func (f resilienceFlags) validate() error {
+	if f.JobsSet && f.Jobs < 0 {
+		return fmt.Errorf("-jobs must be >= 1 (or 0 for all cores), got %d", f.Jobs)
+	}
+	if f.Retry < 1 {
+		return fmt.Errorf("-retry is the total attempts per cell and must be >= 1, got %d; use -retry 3 to allow two re-attempts", f.Retry)
+	}
+	if f.RetryBase < 0 {
+		return fmt.Errorf("-retry-base must be >= 0, got %v", f.RetryBase)
+	}
+	if f.RetryCap < 0 {
+		return fmt.Errorf("-retry-cap must be >= 0 (0 = uncapped), got %v", f.RetryCap)
+	}
+	if f.CellTimeout < 0 {
+		return fmt.Errorf("-cell-timeout must be >= 0 (0 disables the per-cell deadline), got %v", f.CellTimeout)
+	}
+	if f.Resume != "" && f.Journal != "" && f.Resume != f.Journal {
+		return fmt.Errorf("-resume %s and -journal %s disagree; pass just one (-resume journals into the directory it resumes from)", f.Resume, f.Journal)
+	}
+	expOnly := ""
+	switch {
+	case f.Resume != "":
+		expOnly = "-resume"
+	case f.Journal != "":
+		expOnly = "-journal"
+	case f.Quarantine:
+		expOnly = "-quarantine"
+	case f.Chaos != "":
+		expOnly = "-chaos"
+	case f.CellTimeout > 0:
+		expOnly = "-cell-timeout"
+	case f.Retry > 1:
+		expOnly = "-retry"
+	}
+	if expOnly != "" && f.Exp == "" {
+		return fmt.Errorf("%s only applies to experiment runs; add -exp <name> or -exp all", expOnly)
+	}
+	if f.Resume != "" {
+		if _, err := os.Stat(filepath.Join(f.Resume, journal.FileName)); err != nil {
+			return fmt.Errorf("-resume %s: no journal to resume (%v); start the run with -journal %s instead", f.Resume, err, f.Resume)
+		}
 	}
 	return nil
 }

@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"compresso/internal/journal"
+)
 
 // TestValidateTraceEvents pins the -trace-events flag contract. The
 // pre-fix behaviour (pinned here as documentation): any value <= 0 was
@@ -25,5 +31,97 @@ func TestValidateTraceEvents(t *testing.T) {
 		if (err != nil) != c.wantErr {
 			t.Errorf("validateTraceEvents(%v, %d) = %v, wantErr %v", c.set, c.n, err, c.wantErr)
 		}
+	}
+}
+
+// TestResilienceFlagValidation pins the resilience flag contract: every
+// nonsensical combination is a flag error (exit 2) carrying an
+// actionable message, and every documented-good shape passes.
+func TestResilienceFlagValidation(t *testing.T) {
+	okJournal := t.TempDir()
+	j, err := journal.Open(okJournal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	noJournal := t.TempDir()
+
+	base := resilienceFlags{Retry: 1}
+	with := func(mut func(*resilienceFlags)) resilienceFlags {
+		f := base
+		mut(&f)
+		return f
+	}
+	cases := []struct {
+		name    string
+		f       resilienceFlags
+		wantErr string // substring; empty = must pass
+	}{
+		{"defaults", base, ""},
+		{"jobs zero is all cores", with(func(f *resilienceFlags) { f.JobsSet = true; f.Jobs = 0 }), ""},
+		{"jobs negative", with(func(f *resilienceFlags) { f.JobsSet = true; f.Jobs = -2 }), "-jobs must be >= 1"},
+		{"retry zero", with(func(f *resilienceFlags) { f.Retry = 0 }), "-retry is the total attempts"},
+		{"retry negative", with(func(f *resilienceFlags) { f.Retry = -1 }), "-retry is the total attempts"},
+		{"retry-base negative", with(func(f *resilienceFlags) { f.RetryBase = -time.Second }), "-retry-base must be >= 0"},
+		{"retry-cap negative", with(func(f *resilienceFlags) { f.RetryCap = -time.Second }), "-retry-cap must be >= 0"},
+		{"cell-timeout negative", with(func(f *resilienceFlags) { f.CellTimeout = -time.Second }), "-cell-timeout must be >= 0"},
+		{"resume vs journal disagree", with(func(f *resilienceFlags) {
+			f.Exp = "all"
+			f.Resume = okJournal
+			f.Journal = noJournal
+		}), "disagree"},
+		{"resume equal to journal", with(func(f *resilienceFlags) {
+			f.Exp = "all"
+			f.Resume = okJournal
+			f.Journal = okJournal
+		}), ""},
+		{"resume without exp", with(func(f *resilienceFlags) { f.Resume = okJournal }), "-resume only applies to experiment runs"},
+		{"journal without exp", with(func(f *resilienceFlags) { f.Journal = okJournal }), "-journal only applies to experiment runs"},
+		{"quarantine without exp", with(func(f *resilienceFlags) { f.Quarantine = true }), "-quarantine only applies to experiment runs"},
+		{"chaos without exp", with(func(f *resilienceFlags) { f.Chaos = "cellpanic:0.1" }), "-chaos only applies to experiment runs"},
+		{"cell-timeout without exp", with(func(f *resilienceFlags) { f.CellTimeout = time.Second }), "-cell-timeout only applies to experiment runs"},
+		{"retry without exp", with(func(f *resilienceFlags) { f.Retry = 3 }), "-retry only applies to experiment runs"},
+		{"resume missing journal file", with(func(f *resilienceFlags) {
+			f.Exp = "all"
+			f.Resume = noJournal
+		}), "no journal to resume"},
+		{"journal of fresh dir is fine", with(func(f *resilienceFlags) {
+			f.Exp = "all"
+			f.Journal = noJournal
+		}), ""},
+		{"full resilient run", with(func(f *resilienceFlags) {
+			f.Exp = "all"
+			f.Resume = okJournal
+			f.Retry = 3
+			f.RetryBase = time.Second
+			f.RetryCap = 10 * time.Second
+			f.CellTimeout = time.Minute
+			f.Quarantine = true
+			f.Chaos = "celltransient:0.2"
+		}), ""},
+	}
+	for _, c := range cases {
+		err := c.f.validate()
+		if c.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error: %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %v, want substring %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+func TestJournalDirResolution(t *testing.T) {
+	if d := (resilienceFlags{Resume: "a"}).journalDir(); d != "a" {
+		t.Fatalf("resume dir = %q", d)
+	}
+	if d := (resilienceFlags{Journal: "b"}).journalDir(); d != "b" {
+		t.Fatalf("journal dir = %q", d)
+	}
+	if d := (resilienceFlags{}).journalDir(); d != "" {
+		t.Fatalf("default dir = %q", d)
 	}
 }

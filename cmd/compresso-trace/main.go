@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"compresso/internal/compress"
 	"compresso/internal/memctl"
@@ -43,15 +44,30 @@ func main() {
 			prof.FootprintPages = 16
 		}
 		tr := workload.NewTrace(prof, *seed, *ops)
-		f, err := os.Create(*record)
+		// Write to a temp file in the destination directory and rename
+		// into place, so an interrupted recording never leaves a torn
+		// trace behind at the requested path.
+		dir, base := filepath.Split(*record)
+		f, err := os.CreateTemp(dir, base+".tmp*")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "compresso-trace:", err)
 			os.Exit(1)
 		}
-		defer f.Close()
-		if err := workload.WriteOps(f, tr.Record(*ops)); err != nil {
+		tmp := f.Name()
+		fail := func(err error) {
+			f.Close()
+			os.Remove(tmp)
 			fmt.Fprintln(os.Stderr, "compresso-trace:", err)
 			os.Exit(1)
+		}
+		if err := workload.WriteOps(f, tr.Record(*ops)); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		if err := os.Rename(tmp, *record); err != nil {
+			fail(err)
 		}
 		fmt.Printf("recorded %d ops of %s to %s\n", *ops, prof.Name, *record)
 		return

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"compresso/internal/compress"
@@ -29,7 +30,7 @@ type AbBinsRow struct {
 // workers.
 func AbBinsData(opt Options) []AbBinsRow {
 	profs := workload.All()
-	return grid(opt, "ab-bins", len(profs), func(i int) AbBinsRow {
+	return grid(opt, "ab-bins", len(profs), func(ctx context.Context, i int) AbBinsRow {
 		prof := profs[i]
 		mk := func(mod func(*core.Config)) sim.Result {
 			cfg := sim.DefaultConfig(sim.Compresso)
@@ -37,6 +38,7 @@ func AbBinsData(opt Options) []AbBinsRow {
 			cfg.FootprintScale = opt.scale()
 			cfg.Seed = opt.seed()
 			cfg.CompressoMod = mod
+			cfg.Cancel = ctx
 			return sim.RunSingle(prof, cfg)
 		}
 		eightBins := mk(func(c *core.Config) { c.Bins = compress.EightBins })
@@ -99,7 +101,7 @@ type AbAlignRow struct {
 // workers.
 func AbAlignData(opt Options) []AbAlignRow {
 	profs := workload.All()
-	return grid(opt, "ab-align", len(profs), func(i int) AbAlignRow {
+	return grid(opt, "ab-align", len(profs), func(ctx context.Context, i int) AbAlignRow {
 		prof := profs[i]
 		mk := func(bins compress.Bins) sim.Result {
 			cfg := sim.DefaultConfig(sim.Compresso)
@@ -107,6 +109,7 @@ func AbAlignData(opt Options) []AbAlignRow {
 			cfg.FootprintScale = opt.scale()
 			cfg.Seed = opt.seed()
 			cfg.CompressoMod = func(c *core.Config) { baselineMod(c); c.Bins = bins }
+			cfg.Cancel = ctx
 			return sim.RunSingle(prof, cfg)
 		}
 		legacy := mk(compress.LegacyBins)
@@ -153,7 +156,7 @@ type BPCVariantRow struct {
 // scratch buffer so cells share nothing.
 func BPCVariantsData(opt Options) []BPCVariantRow {
 	profs := workload.All()
-	return grid(opt, "bpc-variants", len(profs), func(i int) BPCVariantRow {
+	return grid(opt, "bpc-variants", len(profs), func(_ context.Context, i int) BPCVariantRow {
 		prof := profs[i]
 		best := compress.BPC{}
 		baseline := compress.BPC{DisableBestOf: true}

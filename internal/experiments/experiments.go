@@ -7,11 +7,17 @@ package experiments
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
+	"time"
 
+	"compresso/internal/faults"
+	"compresso/internal/journal"
 	"compresso/internal/obs"
 	"compresso/internal/parallel"
 )
@@ -45,6 +51,45 @@ type Options struct {
 	// influence results: artifacts are byte-identical with or without a
 	// Progress sink attached (DESIGN.md §9).
 	Progress parallel.Progress
+
+	// Resilience options (DESIGN.md §11). Any of them switches the
+	// grids from the plain deterministic fan-out to the resilient
+	// engine (parallel.MapResilient); results stay byte-identical on
+	// success either way.
+
+	// Ctx cancels the run: queued cells are skipped, in-flight
+	// simulation cells abort cooperatively (sim.Config.Cancel), and
+	// the grid error reports the cancellation.
+	Ctx context.Context
+	// CellTimeout is the per-attempt deadline for one grid cell
+	// (0 disables). Expiry is retryable under Retry.
+	CellTimeout time.Duration
+	// Retry bounds re-attempts of transiently failing cells with
+	// deterministic exponential backoff.
+	Retry parallel.RetryPolicy
+	// Quarantine switches to partial-results mode: failing cells land
+	// in Failures (zero-valued rows) instead of aborting the grid.
+	Quarantine bool
+	// Chaos, when non-nil, disrupts cells deterministically (panic /
+	// transient error / delay / kill) — the harness the resilience
+	// machinery is proven against.
+	Chaos *faults.Chaos
+	// Journal, when non-nil, makes the run durable: completed cells
+	// append to it as they finish, and journaled cells replay instead
+	// of executing (resume). Replayed rows are byte-identical to
+	// recomputed ones.
+	Journal *journal.Journal
+	// Failures collects quarantined cells across grids (the failure
+	// manifest). Required when Quarantine is set and a manifest is
+	// wanted; a nil log just drops the records.
+	Failures *parallel.FailureLog
+}
+
+// resilient reports whether any resilience feature routes the grids
+// through parallel.MapResilient.
+func (o Options) resilient() bool {
+	return o.Ctx != nil || o.CellTimeout > 0 || o.Retry.MaxAttempts > 1 ||
+		o.Quarantine || o.Chaos != nil || o.Journal != nil
 }
 
 // ops and scale return the trace length and footprint divisor for the
@@ -113,14 +158,118 @@ func Run(name string, opt Options) error {
 }
 
 // grid fans an experiment's simulation cells out under opt's job
-// bound, reporting per-cell progress to opt.Progress under label.
-func grid[T any](opt Options, label string, n int, fn func(int) T) []T {
-	return parallel.MapProgress(opt.Jobs, n, opt.Progress, label, fn)
+// bound, reporting per-cell progress to opt.Progress under label. The
+// cell function receives the grid context (context.Background when no
+// resilience feature is active); cells that build a sim.Config should
+// install it as Config.Cancel so in-flight work aborts cooperatively.
+//
+// When a resilience option is set the grid runs on
+// parallel.MapResilient; a fatal grid error (cancellation, exhausted
+// retries outside quarantine mode) unwinds as a gridFatal panic, which
+// runRecovering converts back to the experiment's error.
+func grid[T any](opt Options, label string, n int, fn func(ctx context.Context, i int) T) []T {
+	if !opt.resilient() {
+		return parallel.MapProgress(opt.Jobs, n, opt.Progress, label, func(i int) T {
+			return fn(context.Background(), i)
+		})
+	}
+	rows, err := resilientGrid(opt, label, n, func(ctx context.Context, i int) (T, error) {
+		return fn(ctx, i), nil
+	})
+	if err != nil {
+		panic(gridFatal{err: err})
+	}
+	return rows
 }
 
 // gridErr is grid for cells that can fail (see parallel.MapErr).
-func gridErr[T any](opt Options, label string, n int, fn func(int) (T, error)) ([]T, error) {
-	return parallel.MapErrProgress(opt.Jobs, n, opt.Progress, label, fn)
+func gridErr[T any](opt Options, label string, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if !opt.resilient() {
+		return parallel.MapErrProgress(opt.Jobs, n, opt.Progress, label, func(i int) (T, error) {
+			return fn(context.Background(), i)
+		})
+	}
+	return resilientGrid(opt, label, n, fn)
+}
+
+// gridFatal carries a resilient grid's fatal error out of grid (which
+// has no error return); runRecovering unwraps it so errors.Is chains
+// survive the unwind.
+type gridFatal struct{ err error }
+
+// Error makes the panic value render as its cause when a recover site
+// formats it with %v (e.g. the memo cache's poison message).
+func (g gridFatal) Error() string { return g.err.Error() }
+
+// resilientGrid executes one grid on parallel.MapResilient: journal
+// replay and record around each cell, chaos disruption per attempt,
+// retry/deadline/quarantine per opt, and the grid's quarantined cells
+// appended to opt.Failures.
+func resilientGrid[T any](opt Options, label string, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	hash := cellHash[T](opt)
+	run := parallel.Run{
+		Jobs:          opt.Jobs,
+		Ctx:           opt.Ctx,
+		CellTimeout:   opt.CellTimeout,
+		Retry:         opt.Retry,
+		Quarantine:    opt.Quarantine,
+		CancelOnFatal: true,
+		Progress:      opt.Progress,
+		Label:         label,
+	}
+	rows, failures, err := parallel.MapResilient(run, n, func(ctx context.Context, i, attempt int) (T, error) {
+		var zero T
+		if opt.Journal != nil {
+			if raw, ok := opt.Journal.Lookup(label, i, hash); ok {
+				if v, derr := replayCell[T](raw); derr == nil {
+					parallel.NotifyReplayed(opt.Progress, label, i)
+					return v, nil
+				}
+				// A row that no longer decodes is treated as absent: the
+				// cell recomputes and re-records under the same key.
+			}
+		}
+		if cerr := opt.Chaos.Disrupt(ctx, label, i, attempt); cerr != nil {
+			return zero, cerr
+		}
+		v, ferr := fn(ctx, i)
+		if ferr != nil {
+			return zero, ferr
+		}
+		if opt.Journal != nil {
+			if jerr := opt.Journal.Record(label, i, hash, v); jerr != nil {
+				return zero, jerr
+			}
+		}
+		return v, nil
+	})
+	if opt.Failures != nil && len(failures) > 0 {
+		opt.Failures.Add(failures...)
+	}
+	return rows, err
+}
+
+// cellHash condenses everything that determines a cell's row — the
+// fidelity level, the seed, and the row type — into the journal entry
+// key, so a journal never replays across configurations or row shapes.
+func cellHash[T any](opt Options) string {
+	var zero T
+	return journal.ContentHash(
+		fmt.Sprintf("%T", zero),
+		strconv.FormatBool(opt.Quick),
+		strconv.FormatUint(opt.seed(), 10),
+		strconv.FormatUint(opt.ops(), 10),
+		strconv.Itoa(opt.scale()),
+	)
+}
+
+// replayCell decodes a journaled row back into the grid's row type.
+func replayCell[T any](raw json.RawMessage) (T, error) {
+	var v T
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return v, fmt.Errorf("experiments: replaying journaled cell: %w", err)
+	}
+	return v, nil
 }
 
 // writeArtifact serializes one experiment's payload into opt.JSONDir.
@@ -150,6 +299,9 @@ func RunAll(opt Options) error {
 		err  error
 	}
 	outs := parallel.MapProgress(opt.Jobs, len(list), opt.Progress, "all", func(i int) outcome {
+		if opt.Ctx != nil && opt.Ctx.Err() != nil {
+			return outcome{err: fmt.Errorf("experiments: %s skipped: %w", list[i].Name, opt.Ctx.Err())}
+		}
 		var buf bytes.Buffer
 		sub := opt
 		sub.Out = &buf
@@ -170,6 +322,10 @@ func RunAll(opt Options) error {
 func runRecovering(e Experiment, opt Options) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
+			if gf, ok := r.(gridFatal); ok {
+				err = gf.err
+				return
+			}
 			err = fmt.Errorf("experiments: %s panicked: %v", e.Name, r)
 		}
 	}()

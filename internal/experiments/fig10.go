@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"compresso/internal/capacity"
@@ -60,15 +61,15 @@ func Fig10Data(opt Options) []Fig10Row {
 	key := [2]uint64{boolKey(opt.Quick), opt.seed()}
 	rows, err := fig10Cache.get(key, func() ([]Fig10Row, error) {
 		profs := workload.PerformanceSet()
-		return grid(opt, "fig10", len(profs), func(i int) Fig10Row {
+		return grid(opt, "fig10", len(profs), func(ctx context.Context, i int) Fig10Row {
 			prof := profs[i]
 			row := Fig10Row{Bench: prof.Name, Runs: map[string]sim.Result{}}
 
 			// Cycle-based simulations.
-			base := runCycle(prof, sim.Uncompressed, opt)
+			base := runCycle(ctx, prof, sim.Uncompressed, opt)
 			row.Runs[base.System] = base
 			for i, sys := range CompressedSystems {
-				res := runCycle(prof, sys, opt)
+				res := runCycle(ctx, prof, sys, opt)
 				row.Runs[res.System] = res
 				row.CycleRel[i] = float64(base.Cycles) / float64(res.Cycles)
 			}
@@ -102,11 +103,12 @@ func boolKey(b bool) uint64 {
 	return 0
 }
 
-func runCycle(prof workload.Profile, sys sim.System, opt Options) sim.Result {
+func runCycle(ctx context.Context, prof workload.Profile, sys sim.System, opt Options) sim.Result {
 	cfg := sim.DefaultConfig(sys)
 	cfg.Ops = opt.ops()
 	cfg.FootprintScale = opt.scale()
 	cfg.Seed = opt.seed()
+	cfg.Cancel = ctx
 	return sim.RunSingle(prof, cfg)
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"compresso/internal/capacity"
@@ -29,7 +30,7 @@ func Fig11Data(opt Options) ([]Fig11Row, error) {
 	key := [2]uint64{boolKey(opt.Quick), opt.seed()}
 	return fig11Cache.get(key, func() ([]Fig11Row, error) {
 		mixes := sim.Mixes()
-		return gridErr(opt, "fig11", len(mixes), func(m int) (Fig11Row, error) {
+		return gridErr(opt, "fig11", len(mixes), func(ctx context.Context, m int) (Fig11Row, error) {
 			mix := mixes[m]
 			profs, err := mix.Profiles()
 			if err != nil {
@@ -42,6 +43,7 @@ func Fig11Data(opt Options) ([]Fig11Row, error) {
 				cfg.Ops = opt.ops() / 2
 				cfg.FootprintScale = opt.scale()
 				cfg.Seed = opt.seed()
+				cfg.Cancel = ctx
 				return cfg
 			}
 			base := sim.RunMix(mix.Name, profs, mkCfg(sim.Uncompressed))

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"compresso/internal/capacity"
@@ -38,7 +39,7 @@ type Fig2Row struct {
 // independent cells fanned out across Options.Jobs workers.
 func Fig2Data(opt Options) []Fig2Row {
 	profs := workload.All()
-	return grid(opt, "fig2", len(profs), func(n int) Fig2Row {
+	return grid(opt, "fig2", len(profs), func(_ context.Context, n int) Fig2Row {
 		prof := profs[n]
 		prof.FootprintPages /= opt.scale()
 		if prof.FootprintPages < 16 {

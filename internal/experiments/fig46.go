@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"compresso/internal/compress"
@@ -59,13 +60,14 @@ type Fig4Row struct {
 // out across Options.Jobs workers.
 func Fig4Data(opt Options) []Fig4Row {
 	profs := workload.All()
-	return grid(opt, "fig4", len(profs), func(i int) Fig4Row {
+	return grid(opt, "fig4", len(profs), func(ctx context.Context, i int) Fig4Row {
 		prof := profs[i]
 		cfg := sim.DefaultConfig(sim.Compresso)
 		cfg.Ops = opt.ops()
 		cfg.FootprintScale = opt.scale()
 		cfg.Seed = opt.seed()
 		cfg.CompressoMod = baselineMod
+		cfg.Cancel = ctx
 		fixed := sim.RunSingle(prof, cfg)
 
 		cfg.CompressoMod = func(c *core.Config) {
@@ -150,13 +152,14 @@ func fig6Mods() []func(*core.Config) {
 func Fig6Data(opt Options) []Fig6Row {
 	mods := fig6Mods()
 	profs := workload.All()
-	vals := grid(opt, "fig6", len(profs)*len(mods), func(k int) float64 {
+	vals := grid(opt, "fig6", len(profs)*len(mods), func(ctx context.Context, k int) float64 {
 		prof, mod := profs[k/len(mods)], mods[k%len(mods)]
 		cfg := sim.DefaultConfig(sim.Compresso)
 		cfg.Ops = opt.ops()
 		cfg.FootprintScale = opt.scale()
 		cfg.Seed = opt.seed()
 		cfg.CompressoMod = mod
+		cfg.Cancel = ctx
 		res := sim.RunSingle(prof, cfg)
 		return breakdown(res).Total()
 	})

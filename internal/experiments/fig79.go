@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"compresso/internal/core"
@@ -24,12 +25,13 @@ type Fig7Row struct {
 // independent cells fanned out across Options.Jobs workers.
 func Fig7Data(opt Options) []Fig7Row {
 	profs := workload.All()
-	return grid(opt, "fig7", len(profs), func(i int) Fig7Row {
+	return grid(opt, "fig7", len(profs), func(ctx context.Context, i int) Fig7Row {
 		prof := profs[i]
 		cfg := sim.DefaultConfig(sim.Compresso)
 		cfg.Ops = opt.ops()
 		cfg.FootprintScale = opt.scale()
 		cfg.Seed = opt.seed()
+		cfg.Cancel = ctx
 		with := sim.RunSingle(prof, cfg)
 
 		cfg.CompressoMod = func(c *core.Config) { c.DynamicRepacking = false }
@@ -81,7 +83,7 @@ func Fig9Data(opt Options) ([]Fig9Series, error) {
 		opsPer = 1000
 	}
 	names := []string{"GemsFDTD", "astar"}
-	return gridErr(opt, "fig9", len(names), func(i int) (Fig9Series, error) {
+	return gridErr(opt, "fig9", len(names), func(_ context.Context, i int) (Fig9Series, error) {
 		name := names[i]
 		prof, err := workload.ByName(name)
 		if err != nil {

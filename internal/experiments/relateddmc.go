@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"compresso/internal/sim"
@@ -35,7 +36,7 @@ var dmcBenchmarks = []string{"mcf", "omnetpp", "GemsFDTD", "libquantum", "Graph5
 // uncompressed baseline). Benchmarks are independent cells fanned out
 // across Options.Jobs workers.
 func RelatedDMCData(opt Options) ([]DMCRow, error) {
-	return gridErr(opt, "related-dmc", len(dmcBenchmarks), func(i int) (DMCRow, error) {
+	return gridErr(opt, "related-dmc", len(dmcBenchmarks), func(ctx context.Context, i int) (DMCRow, error) {
 		name := dmcBenchmarks[i]
 		prof, err := workload.ByName(name)
 		if err != nil {
@@ -46,6 +47,7 @@ func RelatedDMCData(opt Options) ([]DMCRow, error) {
 			cfg.Ops = opt.ops()
 			cfg.FootprintScale = opt.scale()
 			cfg.Seed = opt.seed()
+			cfg.Cancel = ctx
 			return sim.RunSingle(prof, cfg)
 		}
 		base := run(sim.Uncompressed)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"compresso/internal/capacity"
@@ -38,10 +39,11 @@ func Tab2Data(opt Options) ([]Tab2Cell, error) {
 	}
 
 	// Cell layout per fraction: the single-core benchmarks first, then
-	// the 4-core mixes.
+	// the 4-core mixes. The row type's fields are exported so the cell
+	// journals losslessly (journal.Record verifies the round-trip).
 	perFrac := len(profs) + len(mixes)
-	type rel struct{ lcp, comp, unc float64 }
-	vals := grid(opt, "tab2", len(fracs)*perFrac, func(k int) rel {
+	type rel struct{ LCP, Comp, Unc float64 }
+	vals := grid(opt, "tab2", len(fracs)*perFrac, func(_ context.Context, k int) rel {
 		frac := fracs[k/perFrac]
 		j := k % perFrac
 		if j < len(profs) {
@@ -51,9 +53,9 @@ func Tab2Data(opt Options) ([]Tab2Cell, error) {
 			cfg.Seed = opt.seed()
 			out := capacity.Evaluate(profs[j], cfg)
 			return rel{
-				lcp:  out.RelPerf[capacity.LCP],
-				comp: out.RelPerf[capacity.Compresso],
-				unc:  out.Unconstrained,
+				LCP:  out.RelPerf[capacity.LCP],
+				Comp: out.RelPerf[capacity.Compresso],
+				Unc:  out.Unconstrained,
 			}
 		}
 		m := j - len(profs)
@@ -63,9 +65,9 @@ func Tab2Data(opt Options) ([]Tab2Cell, error) {
 		cfg.Seed = opt.seed()
 		out := capacity.EvaluateMix(mixes[m].Name, mixProfs[m], cfg)
 		return rel{
-			lcp:  out.RelPerf[capacity.LCP],
-			comp: out.RelPerf[capacity.Compresso],
-			unc:  out.Unconstrained,
+			LCP:  out.RelPerf[capacity.LCP],
+			Comp: out.RelPerf[capacity.Compresso],
+			Unc:  out.Unconstrained,
 		}
 	})
 
@@ -74,9 +76,9 @@ func Tab2Data(opt Options) ([]Tab2Cell, error) {
 		mean := func(lo, hi int, cores int) Tab2Cell {
 			var lcp, comp, unc []float64
 			for _, v := range vals[f*perFrac+lo : f*perFrac+hi] {
-				lcp = append(lcp, v.lcp)
-				comp = append(comp, v.comp)
-				unc = append(unc, v.unc)
+				lcp = append(lcp, v.LCP)
+				comp = append(comp, v.Comp)
+				unc = append(unc, v.Unc)
 			}
 			return Tab2Cell{
 				Frac: frac, Cores: cores,

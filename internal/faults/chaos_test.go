@@ -1,0 +1,147 @@
+package faults
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseChaosSpec(t *testing.T) {
+	cfg, err := ParseChaosSpec("cellpanic:0.02, celltransient:0.5", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 9 || cfg.Rate[CellPanic] != 0.02 || cfg.Rate[CellTransient] != 0.5 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if !cfg.Enabled() {
+		t.Fatal("non-empty spec not enabled")
+	}
+	if c, err := ParseChaosSpec("", 1); err != nil || c.Enabled() {
+		t.Fatalf("empty spec: %+v, %v", c, err)
+	}
+	for _, bad := range []string{"cellpanic", "nosite:0.1", "cellpanic:2", "cellpanic:-1", "cellpanic:x"} {
+		if _, err := ParseChaosSpec(bad, 1); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+// TestChaosDeterministicFate: the same (seed, label, index, attempt)
+// always rolls the same disruption, and a different attempt re-rolls —
+// transient chaos is transient under retry.
+func TestChaosDeterministicFate(t *testing.T) {
+	mk := func() *Chaos {
+		return NewChaos(ChaosConfig{Seed: 3, Rate: mkRate(CellTransient, 0.5)})
+	}
+	a, b := mk(), mk()
+	varies := false
+	for i := 0; i < 64; i++ {
+		e1 := a.Disrupt(context.Background(), "g", i, 1)
+		e2 := b.Disrupt(context.Background(), "g", i, 1)
+		if (e1 == nil) != (e2 == nil) {
+			t.Fatalf("cell %d fate differs across identical injectors", i)
+		}
+		e3 := mk().Disrupt(context.Background(), "g", i, 2)
+		if (e1 == nil) != (e3 == nil) {
+			varies = true
+		}
+	}
+	if !varies {
+		t.Fatal("attempt number never changed a cell's fate at rate 0.5")
+	}
+}
+
+func mkRate(site ChaosSite, p float64) [NChaosSites]float64 {
+	var r [NChaosSites]float64
+	r[site] = p
+	return r
+}
+
+func TestChaosTransientMarker(t *testing.T) {
+	c := NewChaos(ChaosConfig{Seed: 1, Rate: mkRate(CellTransient, 1)})
+	err := c.Disrupt(context.Background(), "g", 0, 1)
+	m, ok := err.(interface{ Transient() bool })
+	if !ok || !m.Transient() {
+		t.Fatalf("transient chaos error lacks the Transient marker: %v", err)
+	}
+	if !strings.Contains(err.Error(), "g[0] attempt 1") {
+		t.Fatalf("error lacks cell identity: %v", err)
+	}
+}
+
+func TestChaosPanicSite(t *testing.T) {
+	c := NewChaos(ChaosConfig{Seed: 1, Rate: mkRate(CellPanic, 1)})
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(r.(string), "injected panic") {
+			t.Fatalf("recover = %v", r)
+		}
+	}()
+	c.Disrupt(context.Background(), "g", 0, 1)
+	t.Fatal("panic site did not panic")
+}
+
+func TestChaosKillSite(t *testing.T) {
+	killed := false
+	old := hardKill
+	hardKill = func() { killed = true }
+	defer func() { hardKill = old }()
+	c := NewChaos(ChaosConfig{Seed: 1, Rate: mkRate(CellKill, 1)})
+	if err := c.Disrupt(context.Background(), "g", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !killed {
+		t.Fatal("kill site did not fire")
+	}
+}
+
+// TestChaosDelayHonorsContext: a canceled context cuts the injected
+// stall short and reports the cancellation.
+func TestChaosDelayHonorsContext(t *testing.T) {
+	c := NewChaos(ChaosConfig{Seed: 1, Rate: mkRate(CellDelay, 1), Delay: time.Hour})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	err := c.Disrupt(ctx, "g", 0, 1)
+	if err != context.Canceled {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("canceled delay still stalled")
+	}
+}
+
+func TestChaosNilSafety(t *testing.T) {
+	var c *Chaos
+	if c.Enabled() {
+		t.Fatal("nil chaos enabled")
+	}
+	if err := c.Disrupt(context.Background(), "g", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if c.Totals().Injected() != 0 {
+		t.Fatal("nil chaos has totals")
+	}
+	if NewChaos(ChaosConfig{}) != nil {
+		t.Fatal("disabled config built an injector")
+	}
+}
+
+func TestChaosTotals(t *testing.T) {
+	c := NewChaos(ChaosConfig{Seed: 1, Rate: mkRate(CellTransient, 1)})
+	for i := 0; i < 5; i++ {
+		c.Disrupt(context.Background(), "g", i, 1)
+	}
+	tot := c.Totals()
+	if tot.Injected() != 5 || tot.Sites[CellTransient].Opportunities != 5 {
+		t.Fatalf("totals = %+v", tot)
+	}
+	if s := tot.String(); !strings.Contains(s, "celltransient 5/5") {
+		t.Fatalf("totals string %q", s)
+	}
+	if s := (ChaosTotals{}).String(); s != "no opportunities" {
+		t.Fatalf("empty totals string %q", s)
+	}
+}

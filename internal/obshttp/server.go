@@ -153,6 +153,29 @@ func (s *Server) GridEnd(label string) {
 	s.reg.Counter("harness.grids_done").Add(1)
 }
 
+// CellRetry implements parallel.ResilienceObserver: retry and backoff
+// activity becomes harness counters (DESIGN.md §11).
+func (s *Server) CellRetry(label string, index, attempt int, backoff time.Duration, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reg.Counter("harness.cell_retries").Add(1)
+	s.reg.Counter("harness.retry_backoff_ms").Add(uint64(backoff.Milliseconds()))
+}
+
+// CellQuarantined implements parallel.ResilienceObserver.
+func (s *Server) CellQuarantined(label string, index, attempts int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reg.Counter("harness.cells_quarantined").Add(1)
+}
+
+// CellReplayed implements parallel.ResilienceObserver.
+func (s *Server) CellReplayed(label string, index int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reg.Counter("harness.cells_replayed").Add(1)
+}
+
 // AttachRun prepares the server for a sampled run: /timeseries serves
 // the windows SampleRun feeds under this name, every being the run's
 // sampling period in demand operations. A new AttachRun replaces the

@@ -35,6 +35,11 @@ type grid struct {
 	active bool
 	wall   time.Duration // summed cell wall time
 	cells  []cellSpan
+
+	// Resilience events (parallel.ResilienceObserver).
+	retries     int
+	quarantined int
+	replayed    int
 }
 
 // Tracker accumulates progress events from any number of concurrent
@@ -90,6 +95,33 @@ func (t *Tracker) GridEnd(label string) {
 	}
 }
 
+// CellRetry implements parallel.ResilienceObserver.
+func (t *Tracker) CellRetry(label string, index, attempt int, backoff time.Duration, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if g := t.lookup(label); g != nil {
+		g.retries++
+	}
+}
+
+// CellQuarantined implements parallel.ResilienceObserver.
+func (t *Tracker) CellQuarantined(label string, index, attempts int, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if g := t.lookup(label); g != nil {
+		g.quarantined++
+	}
+}
+
+// CellReplayed implements parallel.ResilienceObserver.
+func (t *Tracker) CellReplayed(label string, index int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if g := t.lookup(label); g != nil {
+		g.replayed++
+	}
+}
+
 // lookup returns the newest grid registered under label (nil when the
 // label never started). Callers hold t.mu.
 func (t *Tracker) lookup(label string) *grid {
@@ -113,6 +145,11 @@ type GridState struct {
 	// EtaS estimates the grid's remaining seconds from its observed
 	// completion rate (0 when finished or not yet estimable).
 	EtaS float64 `json:"eta_s,omitempty"`
+	// Resilience counters (DESIGN.md §11): retried attempts,
+	// quarantined cells, and cells replayed from the run journal.
+	Retries     int `json:"retries,omitempty"`
+	Quarantined int `json:"quarantined,omitempty"`
+	Replayed    int `json:"replayed,omitempty"`
 }
 
 // State is the tracker's aggregate progress, the payload behind the
@@ -125,6 +162,10 @@ type State struct {
 	// sweep is done when its slowest grid is.
 	EtaS  float64     `json:"eta_s,omitempty"`
 	Grids []GridState `json:"grids,omitempty"`
+	// Aggregate resilience counters across grids.
+	Retries     int `json:"retries,omitempty"`
+	Quarantined int `json:"quarantined,omitempty"`
+	Replayed    int `json:"replayed,omitempty"`
 }
 
 // State snapshots the tracker.
@@ -143,7 +184,11 @@ func (t *Tracker) State() State {
 		gs := GridState{
 			Label: g.label, Done: g.done, Total: g.total,
 			Active: g.active, ElapsedS: elapsed.Seconds(),
+			Retries: g.retries, Quarantined: g.quarantined, Replayed: g.replayed,
 		}
+		st.Retries += g.retries
+		st.Quarantined += g.quarantined
+		st.Replayed += g.replayed
 		if g.done > 0 {
 			gs.MeanCellS = (g.wall / time.Duration(g.done)).Seconds()
 			if g.active && g.done < g.total {
@@ -248,6 +293,15 @@ func (t *Terminal) GridCell(string, int, time.Duration) { t.render(false) }
 // GridEnd implements parallel.Progress.
 func (t *Terminal) GridEnd(string) { t.render(true) }
 
+// CellRetry implements parallel.ResilienceObserver.
+func (t *Terminal) CellRetry(string, int, int, time.Duration, error) { t.render(false) }
+
+// CellQuarantined implements parallel.ResilienceObserver.
+func (t *Terminal) CellQuarantined(string, int, int, error) { t.render(false) }
+
+// CellReplayed implements parallel.ResilienceObserver.
+func (t *Terminal) CellReplayed(string, int) { t.render(false) }
+
 // Finish forces a final render and terminates the line.
 func (t *Terminal) Finish() {
 	t.render(true)
@@ -274,6 +328,15 @@ func (t *Terminal) render(force bool) {
 	line += fmt.Sprintf(" · elapsed %.1fs", st.ElapsedS)
 	if st.EtaS > 0 {
 		line += fmt.Sprintf(" · eta %.0fs", st.EtaS)
+	}
+	if st.Replayed > 0 {
+		line += fmt.Sprintf(" · %d replayed", st.Replayed)
+	}
+	if st.Retries > 0 {
+		line += fmt.Sprintf(" · %d retries", st.Retries)
+	}
+	if st.Quarantined > 0 {
+		line += fmt.Sprintf(" · %d quarantined", st.Quarantined)
 	}
 	pad := t.width - len(line)
 	if len(line) > t.width {
@@ -325,5 +388,33 @@ func (m multi) GridCell(label string, index int, wall time.Duration) {
 func (m multi) GridEnd(label string) {
 	for _, p := range m {
 		p.GridEnd(label)
+	}
+}
+
+// CellRetry implements parallel.ResilienceObserver; the event reaches
+// each combined sink that also observes resilience events.
+func (m multi) CellRetry(label string, index, attempt int, backoff time.Duration, err error) {
+	for _, p := range m {
+		if o, ok := p.(parallel.ResilienceObserver); ok {
+			o.CellRetry(label, index, attempt, backoff, err)
+		}
+	}
+}
+
+// CellQuarantined implements parallel.ResilienceObserver.
+func (m multi) CellQuarantined(label string, index, attempts int, err error) {
+	for _, p := range m {
+		if o, ok := p.(parallel.ResilienceObserver); ok {
+			o.CellQuarantined(label, index, attempts, err)
+		}
+	}
+}
+
+// CellReplayed implements parallel.ResilienceObserver.
+func (m multi) CellReplayed(label string, index int) {
+	for _, p := range m {
+		if o, ok := p.(parallel.ResilienceObserver); ok {
+			o.CellReplayed(label, index)
+		}
 	}
 }

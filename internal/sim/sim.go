@@ -6,6 +6,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -122,6 +123,38 @@ type Config struct {
 	// loop with a copy; implementations must not mutate simulator
 	// state and must not assume any timing.
 	OnSample func(cycle uint64, snap obs.Snapshot)
+
+	// Cancel, when non-nil, aborts the run cooperatively: the demand
+	// loop checks it every cancelCheckPeriod ops and unwinds with a
+	// panic whose value is an error wrapping the context's error, so a
+	// canceled or deadline-exceeded in-flight cell stops burning CPU
+	// instead of running to completion. The resilient grid runner
+	// recovers that sentinel and classifies it as a cancellation, not a
+	// defect (DESIGN.md §11). An aborted run produces no Result.
+	Cancel context.Context
+}
+
+// cancelCheckPeriod is how many demand ops pass between Config.Cancel
+// checks — rare enough to stay invisible on the hot path, frequent
+// enough that cancellation lands within microseconds.
+const cancelCheckPeriod = 1024
+
+// canceledError is the cooperative-abort sentinel thrown by the run
+// loops; it unwraps to the context's error (context.Canceled or
+// context.DeadlineExceeded) so recovery sites can classify it.
+type canceledError struct{ err error }
+
+func (e canceledError) Error() string { return "sim: run canceled: " + e.err.Error() }
+func (e canceledError) Unwrap() error { return e.err }
+
+// checkCancel aborts the run when cfg.Cancel has fired (called with
+// the loop's op counter to amortize the context poll).
+func checkCancel(cfg Config, ops uint64) {
+	if cfg.Cancel != nil && ops%cancelCheckPeriod == 0 {
+		if err := cfg.Cancel.Err(); err != nil {
+			panic(canceledError{err: err})
+		}
+	}
 }
 
 // DefaultSampleWindows is the sampler ring bound when
@@ -367,6 +400,7 @@ func RunSingle(prof workload.Profile, cfg Config) Result {
 	warm := uint64(float64(cfg.Ops) * cfg.WarmupFrac)
 	var op workload.Op
 	for i := uint64(0); i < cfg.Ops; i++ {
+		checkCancel(cfg, i)
 		tr.Next(&op)
 		c.Step(&op)
 		if auditor != nil {
@@ -647,6 +681,7 @@ func RunMix(mixName string, profs []workload.Profile, cfg Config) MultiResult {
 		if sel == -1 {
 			break
 		}
+		checkCancel(cfg, steps)
 		traces[sel].Next(&op)
 		op.LineAddr += base[sel] * memctl.LinesPerPage
 		cores[sel].Step(&op)
