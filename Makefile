@@ -5,9 +5,9 @@ GO ?= go
 # Worker count for the chaos/soak harnesses (0 = all cores).
 JOBS ?= 0
 
-.PHONY: check vet fmt-check build test race fuzz bench-quick bench-json bench-kernels obs-smoke chaos soak
+.PHONY: check vet fmt-check build test race fuzz bench-quick bench-json bench-kernels backends obs-smoke chaos soak
 
-check: vet fmt-check build test race bench-kernels obs-smoke chaos
+check: vet fmt-check build test race bench-kernels backends obs-smoke chaos
 
 vet:
 	$(GO) vet ./...
@@ -31,7 +31,8 @@ test:
 race:
 	$(GO) test -race -timeout 20m ./internal/core/... ./internal/sim/... \
 		./internal/parallel/... ./internal/experiments/... \
-		./internal/progress/... ./internal/obshttp/...
+		./internal/progress/... ./internal/obshttp/... \
+		./internal/memctl/... ./internal/cram/... ./internal/cxl/...
 
 # Time one full quick-mode RunAll sweep serial vs parallel. The output
 # is byte-identical by contract; only the wall time should differ.
@@ -60,9 +61,38 @@ bench-json:
 		-trace-events 1024 -json-summary -json .bench-json-tmp > /dev/null
 	$(GO) run ./cmd/compresso-sim -mix mix1 -ops 50000 -scale 8 \
 		-trace-events 1024 -json-summary -json .bench-json-tmp > /dev/null
+	$(GO) run ./cmd/compresso-sim -bench gcc -system cram -ops 100000 -scale 8 \
+		-trace-events 1024 -json-summary -json .bench-json-tmp > /dev/null
+	$(GO) run ./cmd/compresso-sim -bench gcc -system cxl -ops 100000 -scale 8 \
+		-trace-events 1024 -json-summary -json .bench-json-tmp > /dev/null
 	@for f in .bench-json-tmp/*.json; do \
 		mv "$$f" "BENCH_$$(basename $$f)"; done; rm -rf .bench-json-tmp
 	@ls BENCH_*.json
+
+# Backend gate (DESIGN.md §12): run the registry-wide conformance
+# suite, then a quick per-backend sweep for every registered backend,
+# sha-verified against the committed BACKENDS.sha256 manifest. The
+# six pre-refactor backends' hashes were captured from the pre-registry
+# binary, so this doubles as the behavior-preservation proof; a
+# legitimate output change must regenerate the manifest:
+#   for b in $(.backends/compresso-sim -systems | tail -n +3 | cut -d' ' -f1); ...
+# i.e. rerun the loop below and `sha256sum sweep_*.txt > BACKENDS.sha256`.
+backends:
+	@rm -rf .backends; mkdir -p .backends
+	@$(GO) build -o .backends/compresso-sim ./cmd/compresso-sim
+	@set -e; trap 'rm -rf .backends' EXIT; \
+	$(GO) test -count 1 -run 'TestBackendConformance|TestAllSystemsCoversRegistry' ./internal/sim/ > /dev/null; \
+	names=$$(.backends/compresso-sim -systems | tail -n +3 | cut -d' ' -f1); \
+	for b in $$names; do \
+		.backends/compresso-sim -bench gcc -system $$b -ops 20000 -scale 16 \
+			> .backends/sweep_$$b.txt; \
+	done; \
+	manifest=$$(wc -l < BACKENDS.sha256); swept=$$(echo "$$names" | wc -l); \
+	[ "$$manifest" -eq "$$swept" ] || { \
+		echo "backends: BACKENDS.sha256 lists $$manifest backends, registry has $$swept (regenerate the manifest)"; exit 1; }; \
+	(cd .backends && sha256sum -c ../BACKENDS.sha256 --quiet) || { \
+		echo "backends: sweep output drifted from BACKENDS.sha256"; exit 1; }; \
+	echo "backends: ok ($$swept backends conformant, sweeps sha-verified)"
 
 # Live-introspection smoke test: start a sweep with -serve, poll the
 # endpoints, and validate the /metrics exposition with the binary's

@@ -4,9 +4,10 @@
 // Usage:
 //
 //	compresso-sim -list
+//	compresso-sim -systems
 //	compresso-sim -exp fig2 [-quick] [-seed N]
 //	compresso-sim -exp all [-quick]
-//	compresso-sim -bench gcc -system compresso [-ops N] [-scale N]
+//	compresso-sim -bench gcc -system <any registered backend> [-ops N] [-scale N]
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strings"
 	"syscall"
 	"time"
 
@@ -50,24 +52,25 @@ const (
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list available experiments")
-		exp     = flag.String("exp", "", "experiment to run (or 'all')")
-		quick   = flag.Bool("quick", false, "reduced footprints and trace lengths")
-		seed    = flag.Uint64("seed", 42, "random seed (0 is a valid seed when passed explicitly)")
-		jobs    = flag.Int("jobs", 0, "parallel workers for experiment cells (0 = all cores); output is byte-identical for any value")
-		bench   = flag.String("bench", "", "run one benchmark instead of an experiment")
-		mix     = flag.String("mix", "", "run one Tab. IV mix (e.g. mix1) across all systems")
-		capFrac = flag.Float64("capacity", 0, "with -bench: run the memory-capacity evaluation at this constrained fraction (e.g. 0.7)")
-		system  = flag.String("system", "compresso", "system for -bench: uncompressed|lcp|lcp-align|compresso")
-		ops     = flag.Uint64("ops", 200_000, "trace operations for -bench")
-		scale   = flag.Int("scale", 4, "footprint divisor for -bench")
-		compare = flag.Bool("compare", false, "with -bench: run all four systems and compare")
-		inject  = flag.String("inject", "", "fault-injection spec, e.g. bitflip:1e-6,mdmiss:1e-4 (sites: bitflip, metaflip, chunkdrop, chunkdup, mdmiss, tracetrunc)")
-		auditEv = flag.Uint64("audit-every", 0, "run a repairing state audit every N demand ops (0 disables)")
-		jsonDir = flag.String("json", "", "write JSON artifacts for every run/experiment into this directory")
-		traceEv = flag.Int("trace-events", 0, "retain the newest N controller events in the result trace (omit to disable tracing)")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		list     = flag.Bool("list", false, "list available experiments")
+		exp      = flag.String("exp", "", "experiment to run (or 'all')")
+		quick    = flag.Bool("quick", false, "reduced footprints and trace lengths")
+		seed     = flag.Uint64("seed", 42, "random seed (0 is a valid seed when passed explicitly)")
+		jobs     = flag.Int("jobs", 0, "parallel workers for experiment cells (0 = all cores); output is byte-identical for any value")
+		bench    = flag.String("bench", "", "run one benchmark instead of an experiment")
+		mix      = flag.String("mix", "", "run one Tab. IV mix (e.g. mix1) across all systems")
+		capFrac  = flag.Float64("capacity", 0, "with -bench: run the memory-capacity evaluation at this constrained fraction (e.g. 0.7)")
+		system   = flag.String("system", "compresso", "system for -bench: any registered backend (see -systems)")
+		systemsF = flag.Bool("systems", false, "list the registered memory-controller backends")
+		ops      = flag.Uint64("ops", 200_000, "trace operations for -bench")
+		scale    = flag.Int("scale", 4, "footprint divisor for -bench")
+		compare  = flag.Bool("compare", false, "with -bench: run all four systems and compare")
+		inject   = flag.String("inject", "", "fault-injection spec, e.g. bitflip:1e-6,mdmiss:1e-4 (sites: bitflip, metaflip, chunkdrop, chunkdup, mdmiss, tracetrunc)")
+		auditEv  = flag.Uint64("audit-every", 0, "run a repairing state audit every N demand ops (0 disables)")
+		jsonDir  = flag.String("json", "", "write JSON artifacts for every run/experiment into this directory")
+		traceEv  = flag.Int("trace-events", 0, "retain the newest N controller events in the result trace (omit to disable tracing)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 
 		serve     = flag.String("serve", "", "serve live introspection (/metrics, /timeseries, /events, /progress, /healthz, pprof) on this address, e.g. 127.0.0.1:8080 (port 0 picks a free port)")
 		sampleEv  = flag.Uint64("sample-every", 0, "snapshot live run metrics every N demand ops into a windowed time series (0 disables; determinism-neutral)")
@@ -242,6 +245,12 @@ func main() {
 		tbl := stats.NewTable("experiment", "description")
 		for _, e := range experiments.List() {
 			tbl.AddRow(e.Name, e.Desc)
+		}
+		tbl.Render(os.Stdout)
+	case *systemsF:
+		tbl := stats.NewTable("system", "description")
+		for _, b := range memctl.Backends() {
+			tbl.AddRow(b.Name, b.Desc)
 		}
 		tbl.Render(os.Stdout)
 	case *exp == "all":
@@ -511,12 +520,11 @@ func fatal(err error) {
 }
 
 func parseSystem(name string) (sim.System, error) {
-	for _, s := range sim.ExtendedSystems() {
-		if s.String() == name {
-			return s, nil
-		}
+	if _, ok := memctl.LookupBackend(name); ok {
+		return sim.System(name), nil
 	}
-	return 0, fmt.Errorf("unknown system %q", name)
+	return "", fmt.Errorf("unknown system %q (registered: %s)",
+		name, strings.Join(memctl.BackendNames(), ", "))
 }
 
 func runCapacity(bench string, frac float64, ops uint64, scale int, seed uint64) {

@@ -63,4 +63,5 @@ func (c *memo[T]) reset() {
 func resetMemos() {
 	fig10Cache.reset()
 	fig11Cache.reset()
+	backendsCache.reset()
 }

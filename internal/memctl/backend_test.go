@@ -1,0 +1,155 @@
+package memctl
+
+import (
+	"strings"
+	"testing"
+
+	"compresso/internal/dram"
+	"compresso/internal/metadata"
+	"compresso/internal/obs"
+)
+
+// fakeAccounting is a Controller stub whose storage accounting is set
+// directly, for exercising CompressionRatio's degenerate corners that
+// no healthy controller reaches.
+type fakeAccounting struct {
+	Uncompressed
+	compressed int64
+	installed  int64
+}
+
+func (f *fakeAccounting) Name() string           { return "fake" }
+func (f *fakeAccounting) CompressedBytes() int64 { return f.compressed }
+func (f *fakeAccounting) InstalledBytes() int64  { return f.installed }
+
+// TestCompressionRatioClampsMissingFootprint pins the first
+// degenerate-case fix: a controller reporting compressed storage with
+// no installed footprint must clamp to 1, not report a ratio of 0
+// (which downstream geomeans would turn into -Inf). Fails pre-fix
+// (the old code returned installed/used = 0).
+func TestCompressionRatioClampsMissingFootprint(t *testing.T) {
+	c := &fakeAccounting{compressed: PageSize, installed: 0}
+	if got := CompressionRatio(c); got != 1 {
+		t.Fatalf("ratio with installed=0, compressed=%d: got %v, want 1", PageSize, got)
+	}
+}
+
+// TestCompressionRatioNegativePanics pins the second degenerate-case
+// fix: negative byte counts are a controller accounting bug and must
+// surface, not be silently reported as a healthy 1.0. Fails pre-fix
+// (the old code returned 1 for any used <= 0).
+func TestCompressionRatioNegativePanics(t *testing.T) {
+	for _, tc := range []struct {
+		name                  string
+		compressed, installed int64
+	}{
+		{"negative-compressed", -64, PageSize},
+		{"negative-installed", PageSize, -64},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("CompressionRatio did not panic on negative accounting")
+				}
+				if msg, ok := r.(string); !ok || !strings.Contains(msg, "negative storage accounting") {
+					t.Fatalf("unexpected panic value: %v", r)
+				}
+			}()
+			CompressionRatio(&fakeAccounting{compressed: tc.compressed, installed: tc.installed})
+		})
+	}
+}
+
+// TestRegisterRelativeExtraUnconditional pins the /metrics fix: the
+// relative_extra gauge is registered (at 0) even with zero demand
+// traffic, so the series cannot vanish from the exposition between the
+// warmup reset and the first demand op. Fails pre-fix (the gauge was
+// skipped when DemandAccesses() == 0).
+func TestRegisterRelativeExtraUnconditional(t *testing.T) {
+	reg := obs.NewRegistry()
+	Stats{}.Register(reg, "memctl")
+	kind, ok := reg.KindOf("memctl.relative_extra")
+	if !ok {
+		t.Fatal("memctl.relative_extra not registered for zero-demand stats")
+	}
+	if kind != obs.KindGauge {
+		t.Fatalf("memctl.relative_extra registered as %v, want gauge", kind)
+	}
+	if v := reg.Gauge("memctl.relative_extra").Value(); v != 0 {
+		t.Fatalf("zero-demand relative_extra = %v, want 0", v)
+	}
+}
+
+func TestBackendRegistryLookup(t *testing.T) {
+	b, ok := LookupBackend("uncompressed")
+	if !ok {
+		t.Fatal("uncompressed backend not registered")
+	}
+	ctl := b.New(BuildParams{OSPAPages: 4, MachineBytes: b.MachineBytes(4), Mem: dram.New(dram.DDR4_2666())})
+	if ctl.Name() != "uncompressed" {
+		t.Fatalf("constructed controller Name() = %q, want %q", ctl.Name(), "uncompressed")
+	}
+	if _, ok := LookupBackend("no-such-backend"); ok {
+		t.Fatal("lookup of unregistered name succeeded")
+	}
+}
+
+func TestBackendRegistrySortedAndConsistent(t *testing.T) {
+	names := BackendNames()
+	if len(names) == 0 {
+		t.Fatal("no backends registered")
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("BackendNames not sorted: %v", names)
+		}
+	}
+	all := Backends()
+	if len(all) != len(names) {
+		t.Fatalf("Backends() has %d entries, BackendNames() %d", len(all), len(names))
+	}
+	for i, b := range all {
+		if b.Name != names[i] {
+			t.Fatalf("Backends()[%d] = %q, want %q", i, b.Name, names[i])
+		}
+	}
+}
+
+func TestRegisterBackendRejectsDuplicateAndIncomplete(t *testing.T) {
+	mustPanic := func(name string, b Backend) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: RegisterBackend did not panic", name)
+			}
+		}()
+		RegisterBackend(b)
+	}
+	ok, _ := LookupBackend("uncompressed")
+	mustPanic("duplicate", ok)
+	mustPanic("incomplete", Backend{Name: "half-registered"})
+}
+
+// TestMachineSizingBaselineMetadataFree pins the third satellite fix:
+// the uncompressed baseline carries no metadata, so its machine-memory
+// sizing must not include the per-page metadata.EntrySize charge the
+// compressed backends pay.
+func TestMachineSizingBaselineMetadataFree(t *testing.T) {
+	const pages = 1000
+	base := BaselineMachineBytes(pages)
+	if want := int64(pages)*PageSize + 1<<20; base != want {
+		t.Fatalf("BaselineMachineBytes(%d) = %d, want %d (footprint + slack only)", pages, base, want)
+	}
+	comp := CompressedMachineBytes(pages)
+	if want := base + int64(pages)*metadata.EntrySize; comp != want {
+		t.Fatalf("CompressedMachineBytes(%d) = %d, want %d", pages, comp, want)
+	}
+	b, ok := LookupBackend("uncompressed")
+	if !ok {
+		t.Fatal("uncompressed backend not registered")
+	}
+	if got := b.MachineBytes(pages); got != base {
+		t.Fatalf("uncompressed backend sizes %d machine bytes, want metadata-free %d", got, base)
+	}
+}

@@ -128,13 +128,14 @@ func (s Stats) RelativeExtra() float64 {
 }
 
 // Register records every counter into r under prefix (canonically
-// "memctl"), plus the derived relative-extra-access gauge when demand
-// traffic exists (DESIGN.md §8 naming scheme).
+// "memctl"), plus the derived relative-extra-access gauge (DESIGN.md
+// §8 naming scheme). The gauge registers unconditionally — reading 0
+// when there is no demand traffic — so the series cannot flap in and
+// out of /metrics and sampler windows between the warmup reset and the
+// first demand op.
 func (s Stats) Register(r *obs.Registry, prefix string) {
 	r.AddStruct(prefix, s)
-	if s.DemandAccesses() > 0 {
-		r.Gauge(prefix + ".relative_extra").Set(s.RelativeExtra())
-	}
+	r.Gauge(prefix + ".relative_extra").Set(s.RelativeExtra())
 }
 
 // Controller is the OSPA-facing memory controller interface.
@@ -171,14 +172,23 @@ type Controller interface {
 	InstalledBytes() int64
 }
 
-// CompressionRatio returns footprint / compressed storage for c
-// (1.0 when nothing is installed).
+// CompressionRatio returns footprint / compressed storage for c,
+// clamped to 1.0 in the degenerate cases — nothing installed yet, or a
+// backend that reports storage without a footprint — where a literal
+// division would report 0 or blow up. Negative byte counts are an
+// accounting bug in the controller, not a data condition, so they
+// panic instead of being laundered into a plausible-looking ratio.
 func CompressionRatio(c Controller) float64 {
 	used := c.CompressedBytes()
-	if used <= 0 {
+	installed := c.InstalledBytes()
+	if used < 0 || installed < 0 {
+		panic(fmt.Sprintf("memctl: %s reports negative storage accounting (installed %d, compressed %d)",
+			c.Name(), installed, used))
+	}
+	if used == 0 || installed == 0 {
 		return 1
 	}
-	return float64(c.InstalledBytes()) / float64(used)
+	return float64(installed) / float64(used)
 }
 
 // Uncompressed is the baseline controller: OSPA == MPA, every demand

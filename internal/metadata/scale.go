@@ -1,0 +1,25 @@
+package metadata
+
+// ScaleCacheForFootprint shrinks a metadata cache proportionally to
+// the run's footprint scale, preserving the paper's
+// footprint-to-metadata-cache reach ratio (a fixed 96 KB cache would
+// cover the whole scaled footprint and hide all metadata pressure).
+// Every registered backend with a metadata cache calls this from its
+// constructor (DESIGN.md §12).
+func ScaleCacheForFootprint(mc *CacheConfig, scale int) {
+	if scale <= 1 {
+		return
+	}
+	// Scale by half the footprint divisor: the paper sizes the cache
+	// at second-level-TLB reach, which covers the hot set of most
+	// benchmarks; a full proportional shrink would overstate metadata
+	// pressure (paper's worst compression slowdown is 15%).
+	scale = (scale + 1) / 2
+	unit := mc.Ways * EntrySize
+	size := mc.SizeBytes / scale
+	size -= size % unit
+	if size < 4*unit {
+		size = 4 * unit
+	}
+	mc.SizeBytes = size
+}

@@ -1,0 +1,44 @@
+package obshttp
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"compresso/internal/memctl"
+	"compresso/internal/obs"
+)
+
+// TestMemctlIdleExpositionGolden pins the exposition of an idle (fully
+// zero) memctl.Stats registration byte-for-byte. The load-bearing
+// sample is memctl_relative_extra: Stats.Register must publish the
+// gauge unconditionally, so scrapers see the series from the first
+// pre-warmup scrape instead of it popping into existence after the
+// first demand access.
+func TestMemctlIdleExpositionGolden(t *testing.T) {
+	r := obs.NewRegistry()
+	memctl.Stats{}.Register(r, "memctl")
+
+	var buf bytes.Buffer
+	if err := WriteExposition(&buf, r.Snapshot(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "memctl_relative_extra 0\n") {
+		t.Fatalf("idle exposition lacks the relative_extra gauge:\n%s", buf.String())
+	}
+
+	golden := filepath.Join("testdata", "memctl_idle.golden")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("idle memctl exposition drifted from %s:\n--- got ---\n%s\n--- want ---\n%s",
+			golden, buf.String(), want)
+	}
+	if err := CheckExposition(bytes.NewReader(want)); err != nil {
+		t.Fatalf("golden fails CheckExposition: %v", err)
+	}
+}

@@ -1,0 +1,270 @@
+package sim
+
+// Backend conformance suite (DESIGN.md §12): every backend in the
+// memctl registry — present and future — is driven through the same
+// install/read/write/reset program against a LineSource oracle, and
+// Auditable backends additionally prove their audit repair path
+// restores consistency after the oracle is mutated behind their back.
+
+import (
+	"testing"
+
+	"compresso/internal/audit"
+	"compresso/internal/datagen"
+	"compresso/internal/dram"
+	"compresso/internal/faults"
+	"compresso/internal/memctl"
+	"compresso/internal/metadata"
+	"compresso/internal/rng"
+	"compresso/internal/workload"
+)
+
+// oracleImage is the authoritative OSPA line store. It doubles as the
+// differential model: whatever the controller claims to hold must
+// round-trip against these bytes under a Full audit.
+type oracleImage struct {
+	lines map[uint64][]byte
+}
+
+func newOracle() *oracleImage { return &oracleImage{lines: make(map[uint64][]byte)} }
+
+func (im *oracleImage) ReadLine(addr uint64, buf []byte) {
+	if l, ok := im.lines[addr]; ok {
+		copy(buf, l)
+		return
+	}
+	for i := range buf {
+		buf[i] = 0
+	}
+}
+
+func (im *oracleImage) set(addr uint64, data []byte) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	im.lines[addr] = cp
+}
+
+// buildBackend constructs a small world for one registered backend.
+func buildBackend(t *testing.T, b memctl.Backend, pages int) (memctl.Controller, *oracleImage) {
+	t.Helper()
+	im := newOracle()
+	mem := dram.New(dram.DDR4_2666())
+	ctl := b.New(memctl.BuildParams{
+		OSPAPages:      pages,
+		MachineBytes:   b.MachineBytes(pages),
+		FootprintScale: 1,
+		Mem:            mem,
+		Source:         im,
+		Injector:       faults.New(faults.Config{}),
+	})
+	if ctl == nil {
+		t.Fatalf("backend %q: New returned nil", b.Name)
+	}
+	return ctl, im
+}
+
+func installOracle(ctl memctl.Controller, im *oracleImage, page uint64, lines [][]byte) {
+	for i, l := range lines {
+		im.set(page*metadata.LinesPerPage+uint64(i), l)
+	}
+	ctl.InstallPage(page, lines)
+}
+
+// TestBackendConformance is the registry-wide contract check: any
+// backend registered via memctl.RegisterBackend is picked up here with
+// no test changes.
+func TestBackendConformance(t *testing.T) {
+	const pages = 8
+	for _, b := range memctl.Backends() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			if b.Desc == "" {
+				t.Errorf("backend %q has no description", b.Name)
+			}
+			if mb := b.MachineBytes(pages); mb < int64(pages)*metadata.PageSize {
+				t.Fatalf("MachineBytes(%d) = %d, smaller than the raw footprint", pages, mb)
+			}
+			ctl, im := buildBackend(t, b, pages)
+			if ctl.Name() != b.Name {
+				t.Fatalf("controller Name() = %q, registered as %q", ctl.Name(), b.Name)
+			}
+
+			// Install every page with a deterministic mix of patterns.
+			r := rng.New(7)
+			for p := uint64(0); p < pages; p++ {
+				lines := make([][]byte, metadata.LinesPerPage)
+				for i := range lines {
+					lines[i] = datagen.Line(r, datagen.Kind(int(p)%int(datagen.NKinds)))
+				}
+				installOracle(ctl, im, p, lines)
+			}
+			if got, want := ctl.InstalledBytes(), int64(pages)*metadata.PageSize; got != want {
+				t.Fatalf("InstalledBytes = %d after installing %d pages, want %d", got, pages, want)
+			}
+			if ratio := memctl.CompressionRatio(ctl); ratio < 1 || ratio > 64 {
+				t.Fatalf("CompressionRatio = %v, outside [1, 64]", ratio)
+			}
+
+			// Deterministic demand program: interleaved reads and
+			// writes over the whole footprint, oracle kept in sync the
+			// way the workload layer does.
+			const ops = 2000
+			now := uint64(0)
+			var reads, writes uint64
+			totalLines := uint64(pages) * metadata.LinesPerPage
+			for i := 0; i < ops; i++ {
+				addr := r.Uint64() % totalLines
+				if r.Uint64()%3 == 0 {
+					data := datagen.Line(r, datagen.Kind(int(addr)%int(datagen.NKinds)))
+					im.set(addr, data)
+					res := ctl.WriteLine(now, addr, data)
+					if res.Done < now {
+						t.Fatalf("op %d: write Done %d precedes issue cycle %d", i, res.Done, now)
+					}
+					writes++
+				} else {
+					res := ctl.ReadLine(now, addr)
+					if res.Done < now {
+						t.Fatalf("op %d: read Done %d precedes issue cycle %d", i, res.Done, now)
+					}
+					reads++
+				}
+				now += 4
+			}
+			st := ctl.Stats()
+			if st.DemandReads != reads || st.DemandWrites != writes {
+				t.Fatalf("demand accounting: got %d/%d reads/writes, drove %d/%d",
+					st.DemandReads, st.DemandWrites, reads, writes)
+			}
+			if ratio := memctl.CompressionRatio(ctl); ratio < 1 || ratio > 64 {
+				t.Fatalf("CompressionRatio = %v after demand traffic, outside [1, 64]", ratio)
+			}
+
+			// Differential check: a Full repairless audit against the
+			// oracle must be clean on the untampered path.
+			if a, ok := ctl.(audit.Auditable); ok {
+				if rep := a.Audit(audit.Full, false); !rep.OK() {
+					t.Fatalf("clean-path Full audit found violations:\n%s", rep)
+				}
+				auditRepairPath(t, a, im, r)
+			}
+
+			// ResetStats zeroes the accounting without touching state.
+			before := ctl.CompressedBytes()
+			ctl.ResetStats()
+			if st := ctl.Stats(); st != (memctl.Stats{}) {
+				t.Fatalf("Stats not zero after ResetStats: %+v", st)
+			}
+			if got := ctl.CompressedBytes(); got != before {
+				t.Fatalf("ResetStats changed CompressedBytes: %d -> %d", before, got)
+			}
+		})
+	}
+}
+
+// auditRepairPath mutates the oracle behind the controller's back and
+// checks that a repairing Full audit restores a state a subsequent
+// repairless Full audit accepts.
+func auditRepairPath(t *testing.T, a audit.Auditable, im *oracleImage, r *rng.Rand) {
+	t.Helper()
+	for addr := uint64(0); addr < 8; addr++ {
+		im.set(addr, datagen.Line(r, datagen.Random))
+	}
+	rep := a.Audit(audit.Full, true)
+	for _, v := range rep.Violations {
+		if !v.Repaired {
+			t.Fatalf("repairing audit left violation unrepaired: %s", v)
+		}
+	}
+	if after := a.Audit(audit.Full, false); !after.OK() {
+		t.Fatalf("Full audit still dirty after repair:\n%s", after)
+	}
+}
+
+// TestBackendConformanceDeterminism re-runs the conformance program and
+// requires identical final accounting — backends must not consult any
+// ambient nondeterminism.
+func TestBackendConformanceDeterminism(t *testing.T) {
+	const pages = 4
+	for _, b := range memctl.Backends() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			run := func() memctl.Stats {
+				ctl, im := buildBackend(t, b, pages)
+				r := rng.New(11)
+				for p := uint64(0); p < pages; p++ {
+					lines := make([][]byte, metadata.LinesPerPage)
+					for i := range lines {
+						lines[i] = datagen.Line(r, datagen.Repeated)
+					}
+					installOracle(ctl, im, p, lines)
+				}
+				totalLines := uint64(pages) * metadata.LinesPerPage
+				for i := 0; i < 800; i++ {
+					addr := r.Uint64() % totalLines
+					if i%3 == 0 {
+						data := datagen.Line(r, datagen.Kind(i%int(datagen.NKinds)))
+						im.set(addr, data)
+						ctl.WriteLine(uint64(i)*3, addr, data)
+					} else {
+						ctl.ReadLine(uint64(i)*3, addr)
+					}
+				}
+				return ctl.Stats()
+			}
+			if a, b := run(), run(); a != b {
+				t.Fatalf("two identical runs diverged:\n%+v\n%+v", a, b)
+			}
+		})
+	}
+}
+
+// TestNewBackendsRunSingle drives the cram and cxl tiers through the
+// full simulator pipeline with online audits enabled, mirroring
+// TestRunSingleAllSystems for the registry-only systems.
+func TestNewBackendsRunSingle(t *testing.T) {
+	for _, sys := range []System{CRAM, CXL} {
+		sys := sys
+		t.Run(sys.String(), func(t *testing.T) {
+			prof, _ := workload.ByName("gcc")
+			cfg := quickCfg(sys)
+			cfg.AuditEvery = 5_000
+			res := RunSingle(prof, cfg)
+			if res.Cycles == 0 || res.Mem.DemandAccesses() == 0 {
+				t.Fatalf("%s: empty result: %+v", sys, res)
+			}
+			if res.Ratio != 1 {
+				t.Fatalf("%s is a bandwidth/capacity tier, ratio must stay 1, got %v", sys, res.Ratio)
+			}
+			if res.Audit.Violations != 0 {
+				t.Fatalf("%s: online audits found %d violations", sys, res.Audit.Violations)
+			}
+			if res.Audit.Runs == 0 {
+				t.Fatalf("%s: audits never ran despite AuditEvery", sys)
+			}
+			if len(res.BackendMetrics.Counters)+len(res.BackendMetrics.Gauges) == 0 {
+				t.Fatalf("%s: backend registered no extra metrics", sys)
+			}
+		})
+	}
+}
+
+// TestAllSystemsCoversRegistry pins that AllSystems tracks the backend
+// registry exactly, so fig-style sweeps pick up new backends for free.
+func TestAllSystemsCoversRegistry(t *testing.T) {
+	names := memctl.BackendNames()
+	all := AllSystems()
+	if len(all) != len(names) {
+		t.Fatalf("AllSystems has %d entries, registry has %d", len(all), len(names))
+	}
+	for i, n := range names {
+		if all[i].String() != n {
+			t.Fatalf("AllSystems[%d] = %q, registry says %q", i, all[i], n)
+		}
+	}
+	for _, want := range []System{Uncompressed, LCP, LCPAlign, Compresso, DMC, MXT, CRAM, CXL} {
+		if _, ok := memctl.LookupBackend(string(want)); !ok {
+			t.Fatalf("expected backend %q missing from registry", want)
+		}
+	}
+}

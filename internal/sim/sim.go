@@ -1,7 +1,7 @@
 // Package sim is the full-system cycle simulation harness: it wires a
-// workload trace, the cache hierarchy, a memory controller
-// (uncompressed / LCP / LCP+Align / Compresso) and the DRAM model into
-// the single- and multi-core experiments of the paper's cycle-based
+// workload trace, the cache hierarchy, a memory controller resolved
+// from the memctl backend registry and the DRAM model into the
+// single- and multi-core experiments of the paper's cycle-based
 // evaluation (Tab. III configuration, Tab. IV mixes).
 package sim
 
@@ -14,7 +14,6 @@ import (
 	"compresso/internal/cache"
 	"compresso/internal/core"
 	"compresso/internal/cpu"
-	"compresso/internal/dmc"
 	"compresso/internal/dram"
 	"compresso/internal/faults"
 	"compresso/internal/lcp"
@@ -22,49 +21,58 @@ import (
 	"compresso/internal/metadata"
 	"compresso/internal/obs"
 	"compresso/internal/workload"
+
+	// Registered backends without direct config plumbing in this
+	// package: importing them is what makes their names resolvable
+	// (DESIGN.md §12). core and lcp register too, via the imports above.
+	_ "compresso/internal/cram"
+	_ "compresso/internal/cxl"
+	_ "compresso/internal/dmc"
 )
 
-// System selects the memory architecture under test.
-type System int
+// System names the memory architecture under test: any backend name
+// registered with memctl.RegisterBackend resolves.
+type System string
 
-// The evaluated systems (§VI-F).
+// The evaluated systems (§VI-F) plus the related-work and
+// bandwidth-first backends.
 const (
-	Uncompressed System = iota
-	LCP
-	LCPAlign
-	Compresso
+	Uncompressed System = "uncompressed"
+	LCP          System = "lcp"
+	LCPAlign     System = "lcp-align"
+	Compresso    System = "compresso"
 	// DMC is the related-work dual-compression baseline (§VIII); it is
 	// not part of the paper's headline comparison set (Systems) but is
 	// available for the related-dmc experiment.
-	DMC
+	DMC System = "dmc"
 	// MXT is the IBM-MXT-style all-coarse-granularity baseline (§VIII).
-	MXT
+	MXT System = "mxt"
+	// CRAM is the bandwidth-enhancement backend (internal/cram).
+	CRAM System = "cram"
+	// CXL is the expander-tier backend (internal/cxl).
+	CXL System = "cxl"
 )
 
 // String returns the system's name.
-func (s System) String() string {
-	switch s {
-	case Uncompressed:
-		return "uncompressed"
-	case LCP:
-		return "lcp"
-	case LCPAlign:
-		return "lcp-align"
-	case Compresso:
-		return "compresso"
-	case DMC:
-		return "dmc"
-	case MXT:
-		return "mxt"
-	}
-	return fmt.Sprintf("System(%d)", int(s))
-}
+func (s System) String() string { return string(s) }
 
 // Systems lists the paper's four evaluated systems in order.
 func Systems() []System { return []System{Uncompressed, LCP, LCPAlign, Compresso} }
 
 // ExtendedSystems adds the related-work DMC and MXT baselines.
 func ExtendedSystems() []System { return append(Systems(), DMC, MXT) }
+
+// AllSystems lists every registered backend in name order — the set
+// the backend-parameterized experiments sweep, which grows as new
+// backends register.
+func AllSystems() []System {
+	names := memctl.BackendNames()
+	out := make([]System, len(names))
+	for i, n := range names {
+		out[i] = System(n)
+	}
+	return out
+}
 
 // Config parameterizes one simulation run.
 type Config struct {
@@ -90,6 +98,12 @@ type Config struct {
 	// CompressoMod / LCPMod tweak the controller configs (ablations).
 	CompressoMod func(*core.Config)
 	LCPMod       func(*lcp.Config)
+
+	// Mods routes config modifiers to arbitrary registered backends by
+	// name; each backend documents its expected function type (e.g.
+	// func(*cram.Config) for "cram"). An entry here wins over the
+	// legacy CompressoMod/LCPMod fields for its backend.
+	Mods map[string]any
 
 	// Inject configures deterministic fault injection (internal/faults).
 	// The zero value injects nothing and leaves the run bit-identical to
@@ -217,6 +231,14 @@ type Result struct {
 	// byte-identical with sampling on or off (DESIGN.md §9); it is
 	// served live via -serve and readable programmatically.
 	Series obs.Series `json:"-"`
+
+	// BackendMetrics holds the backend's own per-prefix counters (e.g.
+	// "cram.*", "cxl.link.*") for backends that export them; merged
+	// into Registry() so they reach /metrics and artifact metric
+	// sections. Excluded from the Result JSON itself so the committed
+	// BENCH_* result payloads of metric-free backends stay
+	// byte-identical.
+	BackendMetrics obs.Snapshot `json:"-"`
 }
 
 // Registry builds the run's metrics registry: every stat struct
@@ -237,12 +259,45 @@ func (r Result) Registry() *obs.Registry {
 	if r.PageSizes.Total > 0 {
 		reg.Histogram("memctl.page_size_chunks").AddSnapshot(r.PageSizes)
 	}
+	mergeSnapshot(reg, r.BackendMetrics)
 	return reg
 }
 
 // mdStatser is implemented by the compressed controllers.
 type mdStatser interface {
 	MetadataCacheStats() metadata.CacheStats
+}
+
+// backendMetricser is implemented by controllers that export
+// backend-specific counters beyond the shared memctl.Stats (DESIGN.md
+// §12): the registration must be read-only and deterministic.
+type backendMetricser interface {
+	RegisterMetrics(r *obs.Registry)
+}
+
+// backendMetrics snapshots a controller's own metric registrations
+// (zero snapshot for controllers without any).
+func backendMetrics(ctl memctl.Controller) obs.Snapshot {
+	bm, ok := ctl.(backendMetricser)
+	if !ok {
+		return obs.Snapshot{}
+	}
+	reg := obs.NewRegistry()
+	bm.RegisterMetrics(reg)
+	return reg.Snapshot()
+}
+
+// mergeSnapshot registers a snapshot's series into reg.
+func mergeSnapshot(reg *obs.Registry, s obs.Snapshot) {
+	for name, v := range s.Counters {
+		reg.Counter(name).Set(v)
+	}
+	for name, v := range s.Gauges {
+		reg.Gauge(name).Set(v)
+	}
+	for name, h := range s.Hists {
+		reg.Histogram(name).AddSnapshot(h)
+	}
 }
 
 // routedSource maps global OSPA line addresses to per-core images.
@@ -263,29 +318,10 @@ func (r *routedSource) ReadLine(lineAddr uint64, buf []byte) {
 	panic(fmt.Sprintf("sim: line %d outside every core's range", lineAddr))
 }
 
-// scaleMDCache shrinks a metadata cache proportionally to the
-// footprint scale, preserving the paper's footprint-to-metadata-cache
-// reach ratio (a fixed 96 KB cache would cover the whole scaled
-// footprint and hide all metadata pressure).
-func scaleMDCache(mc *metadata.CacheConfig, scale int) {
-	if scale <= 1 {
-		return
-	}
-	// Scale by half the footprint divisor: the paper sizes the cache
-	// at second-level-TLB reach, which covers the hot set of most
-	// benchmarks; a full proportional shrink would overstate metadata
-	// pressure (paper's worst compression slowdown is 15%).
-	scale = (scale + 1) / 2
-	unit := mc.Ways * metadata.EntrySize
-	size := mc.SizeBytes / scale
-	size -= size % unit
-	if size < 4*unit {
-		size = 4 * unit
-	}
-	mc.SizeBytes = size
-}
-
-// scaledL3Bytes shrinks the L3 with the footprint for the same reason.
+// scaledL3Bytes shrinks the L3 with the footprint so a fixed cache
+// cannot cover the whole scaled footprint and hide memory pressure
+// (the metadata-cache analogue lives in
+// metadata.ScaleCacheForFootprint, applied by each backend).
 func scaledL3Bytes(perCore, scale int) int {
 	size := perCore / scale
 	const min = 128 << 10
@@ -300,52 +336,52 @@ func scaledL3Bytes(perCore, scale int) int {
 	return p
 }
 
-// buildController constructs the system's controller for the given
-// OSPA page count, together with the run's fault injector (nil when
-// cfg.Inject is zero). Machine memory is sized so the cycle-based runs
-// are never capacity constrained (capacity effects are evaluated by
-// internal/capacity, per the paper's dual methodology).
+// backendMod resolves the backend-specific config modifier for sys:
+// an explicit Mods entry wins, then the legacy typed fields for the
+// backends that predate the registry.
+func (c Config) backendMod(sys System) any {
+	if m, ok := c.Mods[string(sys)]; ok {
+		return m
+	}
+	switch sys {
+	case Compresso:
+		if c.CompressoMod != nil {
+			return c.CompressoMod
+		}
+	case LCP, LCPAlign:
+		if c.LCPMod != nil {
+			return c.LCPMod
+		}
+	}
+	return nil
+}
+
+// buildController resolves the system's registered backend and
+// constructs its controller for the given OSPA page count, together
+// with the run's fault injector (a no-op when cfg.Inject is zero).
+// Machine memory is sized by the backend's own rule so the cycle-based
+// runs are never capacity constrained (capacity effects are evaluated
+// by internal/capacity, per the paper's dual methodology) and
+// metadata-free backends are not charged for metadata they don't keep.
 func buildController(cfg Config, sys System, ospaPages int, mem *dram.Memory, src memctl.LineSource) (memctl.Controller, *faults.Injector) {
-	machineBytes := int64(ospaPages)*memctl.PageSize + int64(ospaPages)*metadata.EntrySize + 1<<20
+	b, ok := memctl.LookupBackend(string(sys))
+	if !ok {
+		panic(fmt.Sprintf("sim: unknown system %q (registered: %v)", sys, memctl.BackendNames()))
+	}
 	inj := faults.New(cfg.Inject)
 	if inj.Enabled() {
 		mem.SetOnAccess(inj.NoteDRAM)
 	}
-	switch sys {
-	case Uncompressed:
-		return memctl.NewUncompressed(mem), inj
-	case LCP:
-		c := lcp.DefaultConfig(ospaPages, machineBytes)
-		if cfg.LCPMod != nil {
-			cfg.LCPMod(&c)
-		}
-		scaleMDCache(&c.MetadataCache, cfg.FootprintScale)
-		return lcp.New(c, mem, src), inj
-	case LCPAlign:
-		c := lcp.AlignConfig(ospaPages, machineBytes)
-		if cfg.LCPMod != nil {
-			cfg.LCPMod(&c)
-		}
-		scaleMDCache(&c.MetadataCache, cfg.FootprintScale)
-		return lcp.New(c, mem, src), inj
-	case Compresso:
-		c := core.DefaultConfig(ospaPages, machineBytes)
-		if cfg.CompressoMod != nil {
-			cfg.CompressoMod(&c)
-		}
-		scaleMDCache(&c.MetadataCache, cfg.FootprintScale)
-		c.Faults = inj
-		return core.New(c, mem, src), inj
-	case DMC:
-		c := dmc.DefaultConfig(ospaPages, machineBytes)
-		scaleMDCache(&c.MetadataCache, cfg.FootprintScale)
-		return dmc.New(c, mem, src), inj
-	case MXT:
-		c := dmc.MXTConfig(ospaPages, machineBytes)
-		scaleMDCache(&c.MetadataCache, cfg.FootprintScale)
-		return dmc.New(c, mem, src), inj
-	}
-	panic("sim: unknown system")
+	ctl := b.New(memctl.BuildParams{
+		OSPAPages:      ospaPages,
+		MachineBytes:   b.MachineBytes(ospaPages),
+		FootprintScale: cfg.FootprintScale,
+		Mem:            mem,
+		Source:         src,
+		Injector:       inj,
+		Mod:            cfg.backendMod(sys),
+	})
+	return ctl, inj
 }
 
 // newAuditor builds the run's audit runner, or nil when auditing is
@@ -430,6 +466,7 @@ func RunSingle(prof workload.Profile, cfg Config) Result {
 		// both the controller tallies and real DRAM traffic.
 		res.Mem = ctl.Stats()
 		res.Dram = mem.Stats()
+		res.BackendMetrics = backendMetrics(ctl)
 	}
 	res.Faults = inj.Totals()
 	res.Trace = tracer.Trace()
@@ -505,6 +542,7 @@ func collect(bench string, sys System, c *cpu.Core, ctl memctl.Controller, mem *
 	}
 	res.L3MissRate = l3.Stats().MissRate()
 	res.PageSizes = pageSizes(ctl)
+	res.BackendMetrics = backendMetrics(ctl)
 	return res
 }
 
@@ -537,6 +575,10 @@ type MultiResult struct {
 	// Config.SampleEvery > 0). Excluded from JSON so artifacts stay
 	// byte-identical with sampling on or off (DESIGN.md §9).
 	Series obs.Series `json:"-"`
+
+	// BackendMetrics holds the backend's own per-prefix counters (see
+	// Result.BackendMetrics).
+	BackendMetrics obs.Snapshot `json:"-"`
 }
 
 // Registry builds the mix run's metrics registry: the shared memory
@@ -556,6 +598,7 @@ func (m MultiResult) Registry() *obs.Registry {
 	for i, c := range m.Cores {
 		c.CPU.Register(reg, fmt.Sprintf("core%d.cpu", i))
 	}
+	mergeSnapshot(reg, m.BackendMetrics)
 	return reg
 }
 
@@ -640,9 +683,10 @@ func RunMix(mixName string, profs []workload.Profile, cfg Config) MultiResult {
 			}
 		}
 		m := MultiResult{
-			Mem:   ctl.Stats(),
-			Dram:  mem.Stats(),
-			Ratio: memctl.CompressionRatio(ctl),
+			Mem:            ctl.Stats(),
+			Dram:           mem.Stats(),
+			Ratio:          memctl.CompressionRatio(ctl),
+			BackendMetrics: backendMetrics(ctl),
 		}
 		if ms, ok := ctl.(mdStatser); ok {
 			m.MDCache = ms.MetadataCacheStats()
@@ -716,11 +760,12 @@ func RunMix(mixName string, profs []workload.Profile, cfg Config) MultiResult {
 		}
 	}
 	out := MultiResult{
-		MixName: mixName,
-		System:  cfg.System.String(),
-		Mem:     ctl.Stats(),
-		Dram:    mem.Stats(),
-		Ratio:   memctl.CompressionRatio(ctl),
+		MixName:        mixName,
+		System:         cfg.System.String(),
+		Mem:            ctl.Stats(),
+		Dram:           mem.Stats(),
+		Ratio:          memctl.CompressionRatio(ctl),
+		BackendMetrics: backendMetrics(ctl),
 	}
 	if ms, ok := ctl.(mdStatser); ok {
 		out.MDCache = ms.MetadataCacheStats()
@@ -754,6 +799,7 @@ func RunMix(mixName string, profs []workload.Profile, cfg Config) MultiResult {
 		// both the controller tallies and real DRAM traffic.
 		out.Mem = ctl.Stats()
 		out.Dram = mem.Stats()
+		out.BackendMetrics = backendMetrics(ctl)
 	}
 	out.Faults = inj.Totals()
 	out.Trace = tracer.Trace()
