@@ -5,9 +5,9 @@ GO ?= go
 # Worker count for the chaos/soak harnesses (0 = all cores).
 JOBS ?= 0
 
-.PHONY: check vet fmt-check build test race fuzz bench-quick bench-json bench-kernels backends obs-smoke chaos soak
+.PHONY: check vet fmt-check build test race fuzz bench-quick bench-json bench-kernels bench-hotloop backends obs-smoke chaos soak
 
-check: vet fmt-check build test race bench-kernels backends obs-smoke chaos
+check: vet fmt-check build test race bench-kernels bench-hotloop backends obs-smoke chaos
 
 vet:
 	$(GO) vet ./...
@@ -48,6 +48,15 @@ bench-quick:
 bench-kernels:
 	$(GO) test -run '^$$' -bench 'Compress|SizeOnly|Writer|Reader' \
 		-benchmem -benchtime 1x ./internal/compress/ ./internal/bitstream/
+
+# Single-run hot-loop benchmark: the biggest committed -mix run (mix1,
+# ops 50000, scale 8 — the BENCH_mix_mix1_*.json configuration) serial
+# vs fanned out. One iteration each is the `check` smoke run; for real
+# before/after numbers use -count and benchstat (recipe in
+# EXPERIMENTS.md, "Tracking hot-loop performance").
+bench-hotloop:
+	$(GO) test -run '^$$' -bench BenchmarkHotLoopMix -benchtime 1x -jobs 1 .
+	$(GO) test -run '^$$' -bench BenchmarkHotLoopMix -benchtime 1x .
 
 # Snapshot the perf-tracking baseline as BENCH_*.json artifacts
 # (DESIGN.md §8): a single-benchmark four-system comparison and one

@@ -27,6 +27,7 @@ import (
 
 	"compresso/internal/audit"
 	"compresso/internal/capacity"
+	"compresso/internal/compress"
 	"compresso/internal/experiments"
 	"compresso/internal/faults"
 	"compresso/internal/journal"
@@ -65,6 +66,7 @@ func main() {
 		ops      = flag.Uint64("ops", 200_000, "trace operations for -bench")
 		scale    = flag.Int("scale", 4, "footprint divisor for -bench")
 		compare  = flag.Bool("compare", false, "with -bench: run all four systems and compare")
+		overlap  = flag.Bool("overlap", false, "opt-in overlapped-controller timing: pipeline decompression latency against DRAM service (memctl.overlap_* stats); off preserves the serial model")
 		inject   = flag.String("inject", "", "fault-injection spec, e.g. bitflip:1e-6,mdmiss:1e-4 (sites: bitflip, metaflip, chunkdrop, chunkdup, mdmiss, tracetrunc)")
 		auditEv  = flag.Uint64("audit-every", 0, "run a repairing state audit every N demand ops (0 disables)")
 		jsonDir  = flag.String("json", "", "write JSON artifacts for every run/experiment into this directory")
@@ -260,15 +262,15 @@ func main() {
 	case *exp != "":
 		runErr = experiments.Run(*exp, expOpts)
 	case *bench != "" && *capFrac > 0:
-		runCapacity(*bench, *capFrac, *ops, *scale, *seed)
+		runCapacity(*bench, *capFrac, *ops, *scale, *seed, *jobs)
 	case *bench != "":
-		runBench(*bench, *system, *ops, *scale, *seed, *compare, *inject, *auditEv)
+		runBench(*bench, *system, *ops, *scale, *seed, *compare, *inject, *auditEv, *jobs, *overlap)
 	case *mix != "":
-		runMixCLI(*mix, *ops, *scale, *seed, *inject, *auditEv)
+		runMixCLI(*mix, *ops, *scale, *seed, *inject, *auditEv, *jobs, *overlap)
 	case *inject != "" || *auditEv > 0:
 		// Robustness demo: injection/auditing flags alone run the
 		// default benchmark on the Compresso system.
-		runBench("gcc", "compresso", *ops, *scale, *seed, false, *inject, *auditEv)
+		runBench("gcc", "compresso", *ops, *scale, *seed, false, *inject, *auditEv, *jobs, *overlap)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -527,7 +529,7 @@ func parseSystem(name string) (sim.System, error) {
 		name, strings.Join(memctl.BackendNames(), ", "))
 }
 
-func runCapacity(bench string, frac float64, ops uint64, scale int, seed uint64) {
+func runCapacity(bench string, frac float64, ops uint64, scale int, seed uint64, jobs int) {
 	prof, err := workload.ByName(bench)
 	if err != nil {
 		fatal(err)
@@ -536,6 +538,7 @@ func runCapacity(bench string, frac float64, ops uint64, scale int, seed uint64)
 	cfg.Ops = ops
 	cfg.FootprintScale = scale
 	cfg.Seed = seed
+	cfg.Jobs = jobs
 	out := capacity.Evaluate(prof, cfg)
 	writeRunArtifact("capacity", fmt.Sprintf("%s_%.0f", prof.Name, frac*100), out)
 	fmt.Printf("%s at %.0f%% of footprint (%d MB scaled):\n",
@@ -640,7 +643,7 @@ func printRobustness(mem memctl.Stats, totals faults.Totals, outcome audit.Outco
 	}
 }
 
-func runMixCLI(name string, ops uint64, scale int, seed uint64, inject string, auditEvery uint64) {
+func runMixCLI(name string, ops uint64, scale int, seed uint64, inject string, auditEvery uint64, jobs int, overlap bool) {
 	var mix *sim.Mix
 	for _, m := range sim.Mixes() {
 		if m.Name == name {
@@ -657,40 +660,59 @@ func runMixCLI(name string, ops uint64, scale int, seed uint64, inject string, a
 		fatal(err)
 	}
 	fmt.Printf("mix %s: %v\n", mix.Name, mix.Benches)
-	tbl := stats.NewTable("system", "weighted-speedup", "ratio", "extra-accesses")
-	var base sim.MultiResult
-	var last sim.MultiResult
-	var lastSnap obs.Snapshot
-	for _, s := range sim.Systems() {
+	systems := sim.Systems()
+	// Generate and size the workload images once; each system's run
+	// clones the shared masters (sim.MixAssets). The per-system runs
+	// are independent, so they fan out across -jobs workers; results
+	// render in system order afterwards, keeping output byte-identical
+	// at any -jobs.
+	baseCfg := sim.DefaultConfig(systems[0])
+	baseCfg.Ops = ops
+	baseCfg.FootprintScale = scale
+	baseCfg.Seed = seed
+	assets := sim.PrepareAssets(profs, baseCfg, compress.BPC{}, jobs)
+	type mixRun struct {
+		name string
+		res  sim.MultiResult
+		snap obs.Snapshot
+	}
+	runs := parallel.Map(parallel.Workers(jobs, len(systems)), len(systems), func(i int) mixRun {
+		s := systems[i]
 		cfg := sim.DefaultConfig(s)
 		cfg.Ops = ops
 		cfg.FootprintScale = scale
 		cfg.Seed = seed
+		cfg.Overlap = overlap
+		cfg.Assets = assets
 		robustify(&cfg, inject, auditEvery)
 		name := mix.Name + "_" + s.String()
 		attachLive(&cfg, name)
 		res := sim.RunMix(mix.Name, profs, cfg)
-		last = res
-		lastSnap = res.Registry().Snapshot()
-		publishRun(name, lastSnap, res.Trace)
-		writeRunArtifact("mix", name, runArtifact(res, lastSnap))
-		if s == sim.Uncompressed {
-			base = res
-			tbl.AddRow(res.System, 1.0, res.Ratio, res.Mem.RelativeExtra())
+		return mixRun{name: name, res: res, snap: res.Registry().Snapshot()}
+	})
+	tbl := stats.NewTable("system", "weighted-speedup", "ratio", "extra-accesses")
+	var base sim.MultiResult
+	for i, r := range runs {
+		publishRun(r.name, r.snap, r.res.Trace)
+		writeRunArtifact("mix", r.name, runArtifact(r.res, r.snap))
+		if systems[i] == sim.Uncompressed {
+			base = r.res
+			tbl.AddRow(r.res.System, 1.0, r.res.Ratio, r.res.Mem.RelativeExtra())
 			continue
 		}
-		ws, err := res.WeightedSpeedup(base)
+		ws, err := r.res.WeightedSpeedup(base)
 		if err != nil {
 			fatal(err)
 		}
-		tbl.AddRow(res.System, ws, res.Ratio, res.Mem.RelativeExtra())
+		tbl.AddRow(r.res.System, ws, r.res.Ratio, r.res.Mem.RelativeExtra())
 	}
 	tbl.Render(os.Stdout)
-	printRobustness(last.Mem, last.Faults, last.Audit)
-	printObsSummary(lastSnap, last.Trace)
+	last := runs[len(runs)-1]
+	printRobustness(last.res.Mem, last.res.Faults, last.res.Audit)
+	printObsSummary(last.snap, last.res.Trace)
 }
 
-func runBench(bench, system string, ops uint64, scale int, seed uint64, compare bool, inject string, auditEvery uint64) {
+func runBench(bench, system string, ops uint64, scale int, seed uint64, compare bool, inject string, auditEvery uint64, jobs int, overlap bool) {
 	prof, err := workload.ByName(bench)
 	if err != nil {
 		fatal(err)
@@ -703,33 +725,47 @@ func runBench(bench, system string, ops uint64, scale int, seed uint64, compare 
 		}
 		systems = []sim.System{s}
 	}
-	tbl := stats.NewTable("system", "cycles", "ipc", "ratio", "extra-accesses", "l3-miss", "md-hit")
-	var base uint64
-	var last sim.Result
-	var lastSnap obs.Snapshot
-	for _, s := range systems {
+	// Comparison runs share one prepared image across the systems and
+	// fan out across -jobs workers (see runMixCLI); a single-system run
+	// skips the assets (nothing to share).
+	var assets *sim.MixAssets
+	if len(systems) > 1 {
+		baseCfg := sim.DefaultConfig(systems[0])
+		baseCfg.Ops = ops
+		baseCfg.FootprintScale = scale
+		baseCfg.Seed = seed
+		assets = sim.PrepareAssets([]workload.Profile{prof}, baseCfg, compress.BPC{}, jobs)
+	}
+	type benchRun struct {
+		name string
+		res  sim.Result
+		snap obs.Snapshot
+	}
+	runs := parallel.Map(parallel.Workers(jobs, len(systems)), len(systems), func(i int) benchRun {
+		s := systems[i]
 		cfg := sim.DefaultConfig(s)
 		cfg.Ops = ops
 		cfg.FootprintScale = scale
 		cfg.Seed = seed
+		cfg.Overlap = overlap
+		cfg.Assets = assets
 		robustify(&cfg, inject, auditEvery)
 		name := prof.Name + "_" + s.String()
 		attachLive(&cfg, name)
 		res := sim.RunSingle(prof, cfg)
-		last = res
-		lastSnap = res.Registry().Snapshot()
-		publishRun(name, lastSnap, res.Trace)
-		writeRunArtifact("bench", name, runArtifact(res, lastSnap))
-		if s == sim.Uncompressed {
-			base = res.Cycles
-		}
-		tbl.AddRow(res.System, res.Cycles, res.IPC, res.Ratio,
-			res.Mem.RelativeExtra(), res.L3MissRate, res.MDCache.HitRate())
-		_ = base
+		return benchRun{name: name, res: res, snap: res.Registry().Snapshot()}
+	})
+	tbl := stats.NewTable("system", "cycles", "ipc", "ratio", "extra-accesses", "l3-miss", "md-hit")
+	for _, r := range runs {
+		publishRun(r.name, r.snap, r.res.Trace)
+		writeRunArtifact("bench", r.name, runArtifact(r.res, r.snap))
+		tbl.AddRow(r.res.System, r.res.Cycles, r.res.IPC, r.res.Ratio,
+			r.res.Mem.RelativeExtra(), r.res.L3MissRate, r.res.MDCache.HitRate())
 	}
 	fmt.Printf("benchmark %s (%d pages footprint / scale %d, %d ops)\n",
 		prof.Name, prof.FootprintPages, scale, ops)
 	tbl.Render(os.Stdout)
-	printRobustness(last.Mem, last.Faults, last.Audit)
-	printObsSummary(lastSnap, last.Trace)
+	last := runs[len(runs)-1]
+	printRobustness(last.res.Mem, last.res.Faults, last.res.Audit)
+	printObsSummary(last.snap, last.res.Trace)
 }

@@ -47,22 +47,40 @@ func (s Stats) Register(r *obs.Registry, prefix string) {
 	}
 }
 
-type way struct {
-	tag   uint64
-	valid bool
-	dirty bool
-	used  uint64 // LRU timestamp
-}
+// Each way's full state packs into one uint64:
+//
+//	bit  0     valid
+//	bit  1     dirty
+//	bits 2-25  tag (24 bits)
+//	bits 26-63 LRU timestamp (38 bits)
+//
+// An invalid way is exactly 0. The timestamp occupies the top bits and
+// is unique per Access (one tick each), so comparing whole words
+// orders ways by recency — the tag and flag bits can never decide a
+// comparison — and the minimum word in a set is the first invalid way
+// when one exists, else the LRU way. Packing a way into 8 bytes keeps
+// the simulated tag arrays half the size of a split layout: the tag
+// scan per level is the simulator's hottest loop and its arrays (up to
+// megabytes for a shared L3) are what the host's own caches must hold.
+const (
+	metaValid = 1 << 0
+	metaDirty = 1 << 1
+	tagShift  = 2
+	tagBits   = 24
+	tagMask   = 1<<tagBits - 1
+	tickShift = tagShift + tagBits
+)
 
 // Cache is one set-associative write-back cache level. Addresses are in
 // line units (byte address / 64). Not safe for concurrent use.
 type Cache struct {
-	name  string
-	sets  uint64
-	ways  int
-	data  []way // sets*ways, row-major
-	tick  uint64
-	stats Stats
+	name     string
+	sets     uint64
+	setShift uint // log2(sets): tag = lineAddr >> setShift
+	ways     int
+	data     []uint64 // sets*ways packed way words, row-major
+	tick     uint64
+	stats    Stats
 }
 
 // New builds a cache of sizeBytes capacity with the given
@@ -77,11 +95,16 @@ func New(name string, sizeBytes, ways int) *Cache {
 	if sets&(sets-1) != 0 {
 		panic(fmt.Sprintf("cache %s: set count %d not a power of two", name, sets))
 	}
+	shift := uint(0)
+	for s := sets; s > 1; s >>= 1 {
+		shift++
+	}
 	return &Cache{
-		name: name,
-		sets: sets,
-		ways: ways,
-		data: make([]way, int(sets)*ways),
+		name:     name,
+		sets:     sets,
+		setShift: shift,
+		ways:     ways,
+		data:     make([]uint64, int(sets)*ways),
 	}
 }
 
@@ -94,9 +117,9 @@ func (c *Cache) Stats() Stats { return c.stats }
 // ResetStats zeroes the counters without flushing contents.
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
-func (c *Cache) set(lineAddr uint64) []way {
-	idx := lineAddr & (c.sets - 1)
-	return c.data[idx*uint64(c.ways) : (idx+1)*uint64(c.ways)]
+// setBase returns the first way index of lineAddr's set.
+func (c *Cache) setBase(lineAddr uint64) int {
+	return int(lineAddr&(c.sets-1)) * c.ways
 }
 
 // Victim describes an evicted line.
@@ -111,53 +134,63 @@ type Victim struct {
 // filled).
 func (c *Cache) Access(lineAddr uint64, write bool) (hit bool, victim Victim, evicted bool) {
 	c.tick++
-	set := c.set(lineAddr)
-	tag := lineAddr / c.sets
-	for i := range set {
-		w := &set[i]
-		if w.valid && w.tag == tag {
-			w.used = c.tick
+	base := c.setBase(lineAddr)
+	tag := lineAddr >> c.setShift
+	set := c.data[base : base+c.ways]
+	want := tag<<tagShift | metaValid
+	vi := 0
+	vmeta := ^uint64(0)
+	for i, w := range set {
+		if w&(tagMask<<tagShift|metaValid) == want {
+			m := c.tick<<tickShift | want | w&metaDirty
 			if write {
-				w.dirty = true
+				m |= metaDirty
 			}
+			// Move-to-front: hits overwhelmingly re-touch the MRU line,
+			// so keeping it in way 0 makes the next scan one compare.
+			// Way order within a set is unobservable — LRU compares
+			// timestamps, not positions, and every invalid way is
+			// interchangeable — so this is pure layout.
+			if i != 0 {
+				set[i] = set[0]
+			}
+			set[0] = m
 			c.stats.Hits++
 			return true, Victim{}, false
 		}
+		if w < vmeta {
+			vmeta, vi = w, i
+		}
 	}
 	c.stats.Misses++
-	// Choose an invalid way, else the LRU way.
-	vi := -1
-	for i := range set {
-		if !set[i].valid {
-			vi = i
-			break
-		}
+	if tag > tagMask {
+		panic(fmt.Sprintf("cache %s: line address %#x overflows the packed tag width", c.name, lineAddr))
 	}
-	if vi == -1 {
-		vi = 0
-		for i := 1; i < len(set); i++ {
-			if set[i].used < set[vi].used {
-				vi = i
-			}
+	if vmeta&metaValid != 0 {
+		victim = Victim{
+			LineAddr: (vmeta>>tagShift&tagMask)<<c.setShift + lineAddr&(c.sets-1),
+			Dirty:    vmeta&metaDirty != 0,
 		}
-		v := set[vi]
-		victim = Victim{LineAddr: v.tag*c.sets + lineAddr&(c.sets-1), Dirty: v.dirty}
 		evicted = true
 		c.stats.Evictions++
-		if v.dirty {
+		if victim.Dirty {
 			c.stats.Writebacks++
 		}
 	}
-	set[vi] = way{tag: tag, valid: true, dirty: write, used: c.tick}
+	m := c.tick<<tickShift | tag<<tagShift | metaValid
+	if write {
+		m |= metaDirty
+	}
+	set[vi] = m
 	return false, victim, evicted
 }
 
 // Contains reports whether lineAddr is cached (without touching LRU).
 func (c *Cache) Contains(lineAddr uint64) bool {
-	set := c.set(lineAddr)
-	tag := lineAddr / c.sets
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+	base := c.setBase(lineAddr)
+	want := lineAddr>>c.setShift<<tagShift | metaValid
+	for i := 0; i < c.ways; i++ {
+		if c.data[base+i]&(tagMask<<tagShift|metaValid) == want {
 			return true
 		}
 	}
@@ -166,13 +199,12 @@ func (c *Cache) Contains(lineAddr uint64) bool {
 
 // Invalidate drops lineAddr if present, returning whether it was dirty.
 func (c *Cache) Invalidate(lineAddr uint64) (present, dirty bool) {
-	set := c.set(lineAddr)
-	tag := lineAddr / c.sets
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			d := set[i].dirty
-			set[i] = way{}
-			return true, d
+	base := c.setBase(lineAddr)
+	want := lineAddr>>c.setShift<<tagShift | metaValid
+	for i := 0; i < c.ways; i++ {
+		if w := c.data[base+i]; w&(tagMask<<tagShift|metaValid) == want {
+			c.data[base+i] = 0
+			return true, w&metaDirty != 0
 		}
 	}
 	return false, false

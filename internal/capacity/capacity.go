@@ -80,6 +80,10 @@ type Config struct {
 	SwapCostOps float64
 	// FootprintScale divides footprints (test speed knob).
 	FootprintScale int
+	// Jobs bounds the worker pool for the tracker's batched
+	// construction scans (0 = all cores). Results are byte-identical
+	// at any value (DESIGN.md §7).
+	Jobs int
 }
 
 // DefaultConfig returns the standard setup at the given constrained
@@ -92,6 +96,10 @@ func DefaultConfig(frac float64) Config {
 		Seed:           42,
 		SwapCostOps:    12,
 		FootprintScale: 1,
+		// Serial by default: capacity cells usually already run inside
+		// an experiment grid's worker pool; the CLI's direct -capacity
+		// path raises this to its -jobs.
+		Jobs: 1,
 	}
 }
 
@@ -121,7 +129,7 @@ func Evaluate(prof workload.Profile, cfg Config) Outcome {
 		}
 	}
 	tr := workload.NewTrace(prof, cfg.Seed, cfg.Ops)
-	trk := newTracker(tr.Image())
+	trk := newTracker(tr.Image(), cfg.Jobs)
 
 	// Stage 1: profile — record page touches and per-interval ratios.
 	touches := make([]uint32, 0, cfg.Ops)
@@ -225,7 +233,7 @@ func EvaluateMix(mixName string, profs []workload.Profile, cfg Config) MixOutcom
 			}
 		}
 		traces[i] = workload.NewTrace(p, cfg.Seed+uint64(i)*7919, cfg.Ops)
-		trackers[i] = newTracker(traces[i].Image())
+		trackers[i] = newTracker(traces[i].Image(), cfg.Jobs)
 		pageBase[i] = nextPage
 		nextPage += uint64(p.FootprintPages)
 		footprint += int64(p.FootprintPages) * memctl.PageSize

@@ -1,14 +1,19 @@
 package capacity
 
 import (
+	"fmt"
+
 	"compresso/internal/compress"
 	"compresso/internal/memctl"
+	"compresso/internal/parallel"
 	"compresso/internal/workload"
 )
 
 // tracker maintains, incrementally, the storage footprint the image
 // would occupy under each storage model. A full compression pass runs
-// once at construction; afterwards only stored-to lines are
+// once at construction — batched page-at-a-time through the image's
+// size memo and fanned across a bounded worker pool (byte-identical at
+// any jobs; see DESIGN.md §13). Afterwards only stored-to lines are
 // recompressed and only dirty pages re-priced — this is what makes the
 // profiling stage affordable at full trace length.
 type tracker struct {
@@ -22,10 +27,9 @@ type tracker struct {
 	totals [NSizers]int64
 
 	dirty map[uint32]struct{}
-	buf   [memctl.LineBytes]byte
 }
 
-func newTracker(img *workload.Image) *tracker {
+func newTracker(img *workload.Image, jobs int) *tracker {
 	t := &tracker{
 		img:     img,
 		pages:   img.FootprintPages(),
@@ -36,12 +40,29 @@ func newTracker(img *workload.Image) *tracker {
 	for s := Sizer(0); s < NSizers; s++ {
 		t.bytes[s] = make([]int32, t.pages)
 	}
-	for p := 0; p < t.pages; p++ {
+	// Warm the image's per-line size memo in one batched pass, then
+	// price pages on the pool: each worker owns a strided page subset,
+	// touching disjoint lineRaw/bytes entries (pricing is pure).
+	t.img.SizeAll(t.codec, jobs)
+	pricePage := func(p int) {
 		base := uint64(p) * memctl.LinesPerPage
 		for l := uint64(0); l < memctl.LinesPerPage; l++ {
 			t.lineRaw[base+l] = t.rawSize(base + l)
 		}
 		t.priceFresh(uint32(p))
+	}
+	workers := parallel.Workers(jobs, t.pages)
+	if workers <= 1 {
+		for p := 0; p < t.pages; p++ {
+			pricePage(p)
+		}
+	} else {
+		parallel.Map(workers, workers, func(w int) struct{} {
+			for p := w; p < t.pages; p += workers {
+				pricePage(p)
+			}
+			return struct{}{}
+		})
 	}
 	for s := Sizer(0); s < NSizers; s++ {
 		for p := 0; p < t.pages; p++ {
@@ -51,20 +72,36 @@ func newTracker(img *workload.Image) *tracker {
 	return t
 }
 
+// rawSize narrows a line's compressed size to the uint8 the per-line
+// table stores. Sizes are <= 64 for every current codec; the guard
+// keeps a future codec or granularity change from silently truncating
+// (mirrors experiments.lineSize8).
 func (t *tracker) rawSize(lineAddr uint64) uint8 {
-	t.img.ReadLine(lineAddr, t.buf[:])
-	return uint8(compress.SizeOnly(t.codec, t.buf[:]))
+	n := t.img.SizeLine(t.codec, lineAddr)
+	if n < 0 || n > 255 {
+		panic(fmt.Sprintf("capacity: compressed size %d for line %#x does not fit uint8", n, lineAddr))
+	}
+	return uint8(n)
 }
 
-// noteStore re-prices one stored-to line and marks its page dirty.
+// noteStore marks a stored-to line's page dirty. Recompression is
+// deferred to refresh: the line prices identically there (only stores
+// mutate content), and back-to-back stores to one line collapse into a
+// single sizing pass.
 func (t *tracker) noteStore(lineAddr uint64) {
-	t.lineRaw[lineAddr] = t.rawSize(lineAddr)
 	t.dirty[uint32(lineAddr/memctl.LinesPerPage)] = struct{}{}
 }
 
-// refresh re-prices dirty pages, applying no-repack watermarks.
+// refresh re-sizes and re-prices dirty pages, applying no-repack
+// watermarks. Unmutated lines of a dirty page hit the image's size
+// memo, so a page refresh costs one batched scan plus SizeOnly for
+// just the stored-to lines.
 func (t *tracker) refresh() {
 	for p := range t.dirty {
+		base := uint64(p) * memctl.LinesPerPage
+		for l := uint64(0); l < memctl.LinesPerPage; l++ {
+			t.lineRaw[base+l] = t.rawSize(base + l)
+		}
 		old := [NSizers]int32{}
 		for s := Sizer(0); s < NSizers; s++ {
 			old[s] = t.bytes[s][p]

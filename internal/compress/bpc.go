@@ -78,13 +78,13 @@ func (b BPC) CompressScratch(dst, src []byte, s *Scratch) int {
 
 	wT := &s.wa
 	wT.Reset()
-	encodeBPCTransformed(wT, words)
+	encodeBPCTransformed(wT, &words)
 
 	best := wT
 	if !b.DisableBestOf {
 		wR := &s.wb
 		wR.Reset()
-		encodeBPCRaw(wR, words)
+		encodeBPCRaw(wR, &words)
 		if wR.Len() < wT.Len() {
 			best = wR
 		}
@@ -108,9 +108,9 @@ func (b BPC) SizeOnly(src []byte) int {
 		return 0
 	}
 	words := loadWords(src)
-	best := (countBPCTransformed(words) + 7) / 8
+	best := (countBPCTransformed(&words) + 7) / 8
 	if !b.DisableBestOf {
-		if lenR := (countBPCRaw(words) + 7) / 8; lenR < best {
+		if lenR := (countBPCRaw(&words) + 7) / 8; lenR < best {
 			best = lenR
 		}
 	}
@@ -145,9 +145,11 @@ func bpcTranspose32(a *[32]uint32) {
 }
 
 // bpcTransformedPlanes builds the 33 delta bit-planes in encode order
-// (MSB plane first): 15 word-to-word deltas in 33-bit two's complement,
-// plane p holding bit p of every delta, delta j in plane bit j.
-func bpcTransformedPlanes(words [WordsPerLine]uint32) [33]uint32 {
+// (MSB plane first) into ord: 15 word-to-word deltas in 33-bit two's
+// complement, plane p holding bit p of every delta, delta j in plane
+// bit j. Writing into a caller-provided array keeps the hot sizing
+// path free of large-array value copies.
+func bpcTransformedPlanes(words *[WordsPerLine]uint32, ord *[33]uint32) {
 	const nDeltas = WordsPerLine - 1
 	const nPlanes = 33
 	// Low 32 delta bits via the transpose network; plane 32 (the top
@@ -161,46 +163,46 @@ func bpcTransformedPlanes(words [WordsPerLine]uint32) [33]uint32 {
 		top |= uint32(u>>32) << uint(j)
 	}
 	bpcTranspose32(&a)
-	var ord [nPlanes]uint32
 	ord[0] = top // plane 32
 	for i := 1; i < nPlanes; i++ {
 		ord[i] = a[i-1] // a[31-q] is plane q; ord[i] is plane 32-i
 	}
-	return ord
 }
 
 // bpcRawPlanes builds the 32 bit-planes of the raw words in encode
-// order (MSB plane first).
-func bpcRawPlanes(words [WordsPerLine]uint32) [32]uint32 {
-	var a [32]uint32
+// order (MSB plane first) into a.
+func bpcRawPlanes(words *[WordsPerLine]uint32, a *[32]uint32) {
 	for j := 0; j < WordsPerLine; j++ {
 		a[31-j] = words[j]
 	}
-	bpcTranspose32(&a)
+	bpcTranspose32(a)
 	// a[31-q] is plane q, so a is already in encode order (MSB first).
-	return a
 }
 
-func encodeBPCTransformed(w *bitstream.Writer, words [WordsPerLine]uint32) {
+func encodeBPCTransformed(w *bitstream.Writer, words *[WordsPerLine]uint32) {
 	w.WriteBits(bpcVariantTransformed, 1)
 	encodeBPCBase(w, words[0])
-	ord := bpcTransformedPlanes(words)
+	var ord [33]uint32
+	bpcTransformedPlanes(words, &ord)
 	encodePlanes(w, ord[:], WordsPerLine-1, true)
 }
 
-func encodeBPCRaw(w *bitstream.Writer, words [WordsPerLine]uint32) {
+func encodeBPCRaw(w *bitstream.Writer, words *[WordsPerLine]uint32) {
 	w.WriteBits(bpcVariantRaw, 1)
-	ord := bpcRawPlanes(words)
+	var ord [32]uint32
+	bpcRawPlanes(words, &ord)
 	encodePlanes(w, ord[:], WordsPerLine, false)
 }
 
-func countBPCTransformed(words [WordsPerLine]uint32) int {
-	ord := bpcTransformedPlanes(words)
+func countBPCTransformed(words *[WordsPerLine]uint32) int {
+	var ord [33]uint32
+	bpcTransformedPlanes(words, &ord)
 	return 1 + countBPCBase(words[0]) + countPlanes(ord[:], WordsPerLine-1, true)
 }
 
-func countBPCRaw(words [WordsPerLine]uint32) int {
-	ord := bpcRawPlanes(words)
+func countBPCRaw(words *[WordsPerLine]uint32) int {
+	var ord [32]uint32
+	bpcRawPlanes(words, &ord)
 	return 1 + countPlanes(ord[:], WordsPerLine, false)
 }
 

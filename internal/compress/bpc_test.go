@@ -80,11 +80,16 @@ func TestBPCPlaneBuilders(t *testing.T) {
 	}
 
 	for ci, w := range cases {
-		if got, want := bpcTransformedPlanes(w), refTransformedPlanes(w); got != want {
-			t.Errorf("case %d: transformed planes diverge from reference\n got: %x\nwant: %x", ci, got, want)
+		w := w
+		var gotT [33]uint32
+		bpcTransformedPlanes(&w, &gotT)
+		if want := refTransformedPlanes(w); gotT != want {
+			t.Errorf("case %d: transformed planes diverge from reference\n got: %x\nwant: %x", ci, gotT, want)
 		}
-		if got, want := bpcRawPlanes(w), refRawPlanes(w); got != want {
-			t.Errorf("case %d: raw planes diverge from reference\n got: %x\nwant: %x", ci, got, want)
+		var gotR [32]uint32
+		bpcRawPlanes(&w, &gotR)
+		if want := refRawPlanes(w); gotR != want {
+			t.Errorf("case %d: raw planes diverge from reference\n got: %x\nwant: %x", ci, gotR, want)
 		}
 	}
 }

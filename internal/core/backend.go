@@ -16,6 +16,7 @@ func init() {
 		MachineBytes: memctl.CompressedMachineBytes,
 		New: func(p memctl.BuildParams) memctl.Controller {
 			c := DefaultConfig(p.OSPAPages, p.MachineBytes)
+			c.Overlap = p.Overlap // before Mod: ablation hooks may override
 			if p.Mod != nil {
 				mod, ok := p.Mod.(func(*Config))
 				if !ok {

@@ -34,6 +34,7 @@ type Controller struct {
 	cfg    Config
 	mem    *dram.Memory
 	source memctl.LineSource
+	sizer  memctl.LineSizer // source's memoized size path (nil when unsupported)
 
 	pages   []pageState
 	backing []byte // packed metadata region image (bit-exact round-trip)
@@ -83,10 +84,12 @@ func New(cfg Config, mem *dram.Memory, source memctl.LineSource) *Controller {
 	if dataChunks <= 0 {
 		panic("core: no machine memory left for data after metadata")
 	}
+	sizer, _ := source.(memctl.LineSizer)
 	c := &Controller{
 		cfg:           cfg,
 		mem:           mem,
 		source:        source,
+		sizer:         sizer,
 		pages:         make([]pageState, cfg.OSPAPages),
 		mdc:           metadata.NewCache(cfg.MetadataCache),
 		chunkBaseLine: uint64(cfg.OSPAPages), // metadata occupies one line per page
@@ -260,10 +263,24 @@ func (c *Controller) compressCode(data []byte) uint8 {
 	return uint8(c.cfg.Bins.Code(n))
 }
 
+// compressCodeAt is compressCode for data that is the source's live
+// content at lineAddr (demand writebacks, InstallPage): when the
+// source exposes a memoized size path, sizing skips the compressor.
+func (c *Controller) compressCodeAt(lineAddr uint64, data []byte) uint8 {
+	if c.sizer != nil {
+		return uint8(c.cfg.Bins.Code(c.sizer.SizeLine(c.cfg.Codec, lineAddr)))
+	}
+	return c.compressCode(data)
+}
+
 // sourceCode fetches the current value of (page, line) from the line
 // source and returns its bin code.
 func (c *Controller) sourceCode(page uint64, line int) uint8 {
-	c.source.ReadLine(page*metadata.LinesPerPage+uint64(line), c.lineBuf[:])
+	addr := page*metadata.LinesPerPage + uint64(line)
+	if c.sizer != nil {
+		return uint8(c.cfg.Bins.Code(c.sizer.SizeLine(c.cfg.Codec, addr)))
+	}
+	c.source.ReadLine(addr, c.lineBuf[:])
 	return c.compressCode(c.lineBuf[:])
 }
 
@@ -568,6 +585,21 @@ func (c *Controller) ReadLine(now uint64, lineAddr uint64) memctl.Result {
 		fetch = size
 	}
 	done := c.accessSpan(mdDone, ps, c.packedOffset(ps, line), fetch, false)
+	if c.cfg.Overlap {
+		// Overlapped-controller model: decompression starts streaming as
+		// the line's beats arrive, so only the part of DecompressLatency
+		// that exceeds the DRAM service window (mdDone..done) remains on
+		// the critical path.
+		hidden := c.cfg.DecompressLatency
+		if window := done - mdDone; window < hidden {
+			hidden = window
+		}
+		exposed := c.cfg.DecompressLatency - hidden
+		c.stats.OverlapReads++
+		c.stats.OverlapHiddenCycles += hidden
+		c.stats.OverlapExposedCycles += exposed
+		return memctl.Result{Done: done + exposed}
+	}
 	return memctl.Result{Done: done + c.cfg.DecompressLatency}
 }
 
@@ -595,7 +627,7 @@ func (c *Controller) WriteLine(now uint64, lineAddr uint64, data []byte) memctl.
 		delete(c.corrupt, lineAddr)
 		c.stats.CorruptionsHealed++
 	}
-	newCode := c.compressCode(data)
+	newCode := c.compressCodeAt(lineAddr, data)
 	oldActual := ps.actual[line]
 
 	switch {
@@ -792,7 +824,7 @@ func (c *Controller) InstallPage(page uint64, lines [][]byte) {
 	defer c.unpin()
 	fresh := 0
 	for i, ln := range lines {
-		code := c.compressCode(ln)
+		code := c.compressCodeAt(page*metadata.LinesPerPage+uint64(i), ln)
 		ps.actual[i] = code
 		fresh += c.cfg.Bins.SizeOf(int(code))
 	}

@@ -69,6 +69,15 @@ type Config struct {
 	DecompressLatency  uint64 // 12
 	MetadataHitLatency uint64 // 2
 
+	// Overlap enables the overlapped-controller timing model: the
+	// decompression pipeline starts as soon as the first beats of the
+	// line arrive, so DecompressLatency is charged only to the extent
+	// it exceeds the DRAM service window of the read (the cycles
+	// between metadata resolution and data arrival). Off by default;
+	// the serial model — full DecompressLatency after data arrival —
+	// is the paper's Tab. III accounting and stays bit-identical.
+	Overlap bool
+
 	// PrefetchBuffer is the number of recently fetched machine lines
 	// remembered to model the free-prefetch effect of compressed
 	// lines sharing a 64 B burst (§VII-A). 0 disables it.

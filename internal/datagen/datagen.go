@@ -190,15 +190,32 @@ const LinesPerPage = 4096 / compress.LineSize
 // are mostly homogeneous (one array, one node pool); heterogeneity is
 // injected per line with probability noise using the noiseMix.
 func GeneratePage(r *rng.Rand, k Kind, noise float64, noiseMix Mix) Page {
+	// One backing array for the whole page: a page costs one allocation
+	// instead of 65, and the bytes are identical to per-line Line calls
+	// (Line is exactly make + FillLine).
+	buf := make([]byte, LinesPerPage*compress.LineSize)
+	GeneratePageInto(r, k, noise, noiseMix, buf)
 	p := make(Page, LinesPerPage)
 	for i := range p {
+		p[i] = buf[i*compress.LineSize : (i+1)*compress.LineSize : (i+1)*compress.LineSize]
+	}
+	return p
+}
+
+// GeneratePageInto fills buf (one 4 KB page) with the same content —
+// and from the same RNG stream — as GeneratePage, without allocating.
+// This is the kernel behind workload.Image's single flat backing array.
+func GeneratePageInto(r *rng.Rand, k Kind, noise float64, noiseMix Mix, buf []byte) {
+	if len(buf) != LinesPerPage*compress.LineSize {
+		panic(fmt.Sprintf("datagen: page buffer length %d", len(buf)))
+	}
+	for i := 0; i < LinesPerPage; i++ {
 		kind := k
 		if noise > 0 && r.Bool(noise) {
 			kind = noiseMix.Pick(r)
 		}
-		p[i] = Line(r, kind)
+		FillLine(r, kind, buf[i*compress.LineSize:(i+1)*compress.LineSize])
 	}
-	return p
 }
 
 // Mutate rewrites one line in place to simulate a store burst.

@@ -57,6 +57,17 @@ type Stats struct {
 	BusyCycles   uint64 // core cycles of data-bus occupancy
 }
 
+// add accumulates o into s.
+func (s *Stats) add(o Stats) {
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+	s.RowHits += o.RowHits
+	s.RowMisses += o.RowMisses
+	s.RowConflicts += o.RowConflicts
+	s.QueueCycles += o.QueueCycles
+	s.BusyCycles += o.BusyCycles
+}
+
 // Accesses returns the total number of accesses.
 func (s Stats) Accesses() uint64 { return s.Reads + s.Writes }
 
@@ -74,14 +85,31 @@ type bank struct {
 	readyAt uint64
 }
 
+// chanState shards the per-access mutable state by channel: the data
+// bus cursor and the hot counters. Each channel's accesses touch only
+// its own shard (plus its banks), so nothing per-access bounces
+// through Memory-wide state; Stats() folds the shards in channel
+// order, which is exact for the uint64 counters.
+type chanState struct {
+	busFree uint64 // core cycle when this channel's data bus frees
+	stats   Stats
+}
+
 // Memory is a DDR4 memory subsystem. Not safe for concurrent use; the
 // simulator is single-goroutine by design (deterministic).
 type Memory struct {
-	cfg      Config
-	banks    [][]bank // [channel][bank]
-	busFree  []uint64 // per channel, core cycle when data bus frees
-	stats    Stats
-	linesRow int // lines per row
+	cfg   Config
+	banks []bank // flat [channel*Banks + bank]
+	chans []chanState
+
+	// Core-cycle command latencies and bank hold times, precomputed
+	// per row-buffer outcome at construction so the per-access path
+	// does no float conversion. Identical rounding to coreCycles.
+	latHit, latMiss, latConf    uint64
+	holdHit, holdMiss, holdConf uint64
+	burst                       uint64
+
+	linesRow uint64 // lines per row
 	// onAccess, when set, observes every access (the fault-injection
 	// exposure hook); it must not mutate memory state.
 	onAccess func(lineAddr uint64, write bool)
@@ -94,28 +122,60 @@ func New(cfg Config) *Memory {
 	}
 	m := &Memory{
 		cfg:      cfg,
-		banks:    make([][]bank, cfg.Channels),
-		busFree:  make([]uint64, cfg.Channels),
-		linesRow: cfg.RowBytes / 64,
+		banks:    make([]bank, cfg.Channels*cfg.Banks),
+		chans:    make([]chanState, cfg.Channels),
+		linesRow: uint64(cfg.RowBytes / 64),
 	}
-	for c := range m.banks {
-		m.banks[c] = make([]bank, cfg.Banks)
-		for b := range m.banks[c] {
-			m.banks[c][b].openRow = -1
-		}
+	for i := range m.banks {
+		m.banks[i].openRow = -1
 	}
+	m.latHit = m.coreCycles(cfg.CL)
+	m.latMiss = m.coreCycles(cfg.RCD + cfg.CL)
+	m.latConf = m.coreCycles(cfg.RP + cfg.RCD + cfg.CL)
+	m.holdHit = m.coreCycles(cfg.BL / 2) // tCCD: column commands pipeline
+	m.holdMiss = m.coreCycles(cfg.RCD)
+	m.holdConf = m.coreCycles(cfg.RP + cfg.RCD)
+	m.burst = m.coreCycles(cfg.BL / 2)
 	return m
 }
 
-// Stats returns a copy of the accumulated counters.
-func (m *Memory) Stats() Stats { return m.stats }
+// Stats returns the accumulated counters, folded across the per-channel
+// shards.
+func (m *Memory) Stats() Stats {
+	var s Stats
+	for i := range m.chans {
+		s.add(m.chans[i].stats)
+	}
+	return s
+}
 
 // SetOnAccess installs an access observer (nil to remove). The fault
 // injector uses it to read its rates against real DRAM traffic.
 func (m *Memory) SetOnAccess(f func(lineAddr uint64, write bool)) { m.onAccess = f }
 
-// ResetStats zeroes the counters without touching bank state.
-func (m *Memory) ResetStats() { m.stats = Stats{} }
+// ResetStats zeroes the counters without touching bank or bus timing
+// state (see ResetTiming for the warmup-boundary timestamp reset).
+func (m *Memory) ResetStats() {
+	for i := range m.chans {
+		m.chans[i].stats = Stats{}
+	}
+}
+
+// ResetTiming clears the in-flight timing state — per-channel bus
+// cursors and per-bank ready times — while preserving row-buffer
+// contents. The simulators call it at the warmup boundary together
+// with ResetStats: open rows are warm state the measured phase should
+// inherit (like cache contents), but queued bus/bank occupancy from
+// warmup ops would otherwise charge the first measured accesses wait
+// cycles for traffic that was excluded from the stats.
+func (m *Memory) ResetTiming() {
+	for i := range m.chans {
+		m.chans[i].busFree = 0
+	}
+	for i := range m.banks {
+		m.banks[i].readyAt = 0
+	}
+}
 
 func (m *Memory) coreCycles(memCycles int) uint64 {
 	return uint64(float64(memCycles)*m.cfg.CoreClocksPerMemClock + 0.5)
@@ -126,7 +186,7 @@ func (m *Memory) coreCycles(memCycles int) uint64 {
 // enjoy row-buffer locality; rows are interleaved across channels and
 // banks.
 func (m *Memory) mapAddr(lineAddr uint64) (ch, bk int, row int64) {
-	rowIdx := lineAddr / uint64(m.linesRow)
+	rowIdx := lineAddr / m.linesRow
 	ch = int(rowIdx % uint64(m.cfg.Channels))
 	bk = int(rowIdx / uint64(m.cfg.Channels) % uint64(m.cfg.Banks))
 	row = int64(rowIdx / uint64(m.cfg.Channels) / uint64(m.cfg.Banks))
@@ -142,8 +202,14 @@ func (m *Memory) Access(now uint64, lineAddr uint64, write bool) uint64 {
 	if m.onAccess != nil {
 		m.onAccess(lineAddr, write)
 	}
-	ch, bk, row := m.mapAddr(lineAddr)
-	b := &m.banks[ch][bk]
+	rowIdx := lineAddr / m.linesRow
+	nch := uint64(len(m.chans))
+	ch := rowIdx % nch
+	bankIdx := rowIdx / nch
+	bk := bankIdx % uint64(m.cfg.Banks)
+	row := int64(bankIdx / uint64(m.cfg.Banks))
+	b := &m.banks[ch*uint64(m.cfg.Banks)+bk]
+	cs := &m.chans[ch]
 
 	// Wait for the bank to accept the command.
 	start := now
@@ -151,20 +217,17 @@ func (m *Memory) Access(now uint64, lineAddr uint64, write bool) uint64 {
 		start = b.readyAt
 	}
 
-	var cmdLat, bankHold int
+	var cmdLat, bankHold uint64
 	switch {
 	case b.openRow == row:
-		m.stats.RowHits++
-		cmdLat = m.cfg.CL
-		bankHold = m.cfg.BL / 2 // tCCD: column commands pipeline
+		cs.stats.RowHits++
+		cmdLat, bankHold = m.latHit, m.holdHit
 	case b.openRow == -1:
-		m.stats.RowMisses++
-		cmdLat = m.cfg.RCD + m.cfg.CL
-		bankHold = m.cfg.RCD
+		cs.stats.RowMisses++
+		cmdLat, bankHold = m.latMiss, m.holdMiss
 	default:
-		m.stats.RowConflicts++
-		cmdLat = m.cfg.RP + m.cfg.RCD + m.cfg.CL
-		bankHold = m.cfg.RP + m.cfg.RCD
+		cs.stats.RowConflicts++
+		cmdLat, bankHold = m.latConf, m.holdConf
 	}
 	b.openRow = row
 
@@ -172,22 +235,21 @@ func (m *Memory) Access(now uint64, lineAddr uint64, write bool) uint64 {
 	// resource, so a stream of row hits achieves one burst per BL/2
 	// memory cycles while each individual access still sees its full
 	// command latency.
-	burst := m.coreCycles(m.cfg.BL / 2)
-	dataAt := start + m.coreCycles(cmdLat)
-	if m.busFree[ch] > dataAt {
-		dataAt = m.busFree[ch]
+	dataAt := start + cmdLat
+	if cs.busFree > dataAt {
+		dataAt = cs.busFree
 	}
-	done := dataAt + burst
+	done := dataAt + m.burst
 
-	b.readyAt = start + m.coreCycles(bankHold)
-	m.busFree[ch] = done
-	m.stats.BusyCycles += burst
-	m.stats.QueueCycles += (dataAt - m.coreCycles(cmdLat)) - now
+	b.readyAt = start + bankHold
+	cs.busFree = done
+	cs.stats.BusyCycles += m.burst
+	cs.stats.QueueCycles += (dataAt - cmdLat) - now
 
 	if write {
-		m.stats.Writes++
+		cs.stats.Writes++
 	} else {
-		m.stats.Reads++
+		cs.stats.Reads++
 	}
 	return done
 }
@@ -195,5 +257,5 @@ func (m *Memory) Access(now uint64, lineAddr uint64, write bool) uint64 {
 // ReadLatency returns the unloaded row-hit read latency in core cycles,
 // useful for analytic comparisons and tests.
 func (m *Memory) ReadLatency() uint64 {
-	return m.coreCycles(m.cfg.CL) + m.coreCycles(m.cfg.BL/2)
+	return m.burst + m.latHit
 }

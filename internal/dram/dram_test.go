@@ -158,3 +158,40 @@ func TestStreamingThroughputBounded(t *testing.T) {
 		t.Errorf("streaming throughput too low: %d vs bound %d", done, minTime)
 	}
 }
+
+// TestWarmupResetClearsQueueState pins the warmup-boundary contract:
+// after the stats reset that ends warmup, the first measured accesses
+// must not be charged queue or bank-busy cycles inherited from warmup
+// traffic that was excluded from the stats. Row-buffer contents are
+// warm state and survive (like cache contents); in-flight timing does
+// not.
+func TestWarmupResetClearsQueueState(t *testing.T) {
+	cfg := DDR4_2666()
+	m := New(cfg)
+	// Warmup: hammer one line at cycle 0 so its channel bus and bank
+	// are booked far into the future.
+	for i := 0; i < 64; i++ {
+		m.Access(0, 0, false)
+	}
+	m.ResetStats()
+	m.ResetTiming()
+	// Measured phase: a lone access at cycle 0 to the warmed-up row.
+	done := m.Access(0, 0, false)
+	if q := m.Stats().QueueCycles; q != 0 {
+		t.Fatalf("post-warmup access charged %d queue cycles inherited from warmup", q)
+	}
+	// An idle-system row hit is the fastest possible access; the
+	// post-reset access must match it exactly.
+	fresh := New(cfg)
+	fresh.Access(0, 0, false) // opens the row
+	fresh.ResetTiming()
+	want := fresh.Access(0, 0, false)
+	if done != want {
+		t.Fatalf("post-warmup access completed at %d, want idle row-hit completion %d", done, want)
+	}
+	// The reset must preserve the open row: the first access misses
+	// the precharged bank, and the post-reset one must still hit.
+	if s := fresh.Stats(); s.RowHits != 1 || s.RowMisses != 1 {
+		t.Fatalf("open row not preserved across ResetTiming: stats %+v", s)
+	}
+}

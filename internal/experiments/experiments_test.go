@@ -16,7 +16,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{"ab-align", "ab-bins", "backends-ratio", "backends-traffic",
 		"bpc-variants", "fig10a", "fig10b",
 		"fig11a", "fig11b", "fig12", "fig2", "fig4", "fig6", "fig7", "fig9",
-		"related-dmc", "tab1", "tab2", "tab5"}
+		"overlap", "related-dmc", "tab1", "tab2", "tab5"}
 	got := List()
 	if len(got) != len(want) {
 		t.Fatalf("%d experiments registered, want %d: %v", len(got), len(want), got)

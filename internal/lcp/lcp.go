@@ -112,6 +112,7 @@ type Controller struct {
 	cfg    Config
 	mem    *dram.Memory
 	source memctl.LineSource
+	sizer  memctl.LineSizer // source's memoized size path (nil when unsupported)
 
 	pages []lcpPage
 	buddy *mpa.BuddyAllocator
@@ -149,10 +150,12 @@ func New(cfg Config, mem *dram.Memory, source memctl.LineSource) *Controller {
 	if cfg.Bins.Name() == compress.CompressoBins.Name() {
 		name = "lcp-align"
 	}
+	sizer, _ := source.(memctl.LineSizer)
 	return &Controller{
 		cfg:           cfg,
 		mem:           mem,
 		source:        source,
+		sizer:         sizer,
 		pages:         make([]lcpPage, cfg.OSPAPages),
 		buddy:         mpa.NewBuddyAllocator(dataChunks-dataChunks%8, 3),
 		mdc:           metadata.NewCache(cfg.MetadataCache),
@@ -194,6 +197,16 @@ func (c *Controller) checkPage(page uint64) {
 func (c *Controller) compressCode(data []byte) uint8 {
 	n := compress.SizeOnly(c.cfg.Codec, data)
 	return uint8(c.cfg.Bins.Code(n))
+}
+
+// compressCodeAt is compressCode for data that is the source's live
+// content at lineAddr (demand writebacks, InstallPage): when the
+// source exposes a memoized size path, sizing skips the compressor.
+func (c *Controller) compressCodeAt(lineAddr uint64, data []byte) uint8 {
+	if c.sizer != nil {
+		return uint8(c.cfg.Bins.Code(c.sizer.SizeLine(c.cfg.Codec, lineAddr)))
+	}
+	return c.compressCode(data)
 }
 
 // --- layout ------------------------------------------------------------
@@ -433,7 +446,7 @@ func (c *Controller) WriteLine(now uint64, lineAddr uint64, data []byte) memctl.
 		c.validPages++
 		l.Dirty = true
 	}
-	newCode := c.compressCode(data)
+	newCode := c.compressCodeAt(lineAddr, data)
 
 	if p.zero {
 		if newCode == 0 {
@@ -564,7 +577,7 @@ func (c *Controller) InstallPage(page uint64, lines [][]byte) {
 	defer func() { c.hasPinned = false }()
 	allZero := true
 	for i, ln := range lines {
-		code := c.compressCode(ln)
+		code := c.compressCodeAt(page*metadata.LinesPerPage+uint64(i), ln)
 		p.actual[i] = code
 		if code != 0 {
 			allZero = false

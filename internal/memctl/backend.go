@@ -56,6 +56,13 @@ type BuildParams struct {
 	// it into their config; others ignore it.
 	Injector *faults.Injector
 
+	// Overlap requests the opt-in overlapped-controller timing model:
+	// backends that model a decompression latency may pipeline it
+	// against DRAM service (Stats.Overlap* counters). Backends without
+	// such a latency ignore it; off (the default) preserves the serial
+	// timing model bit-for-bit.
+	Overlap bool
+
 	// Mod is the backend-specific config modifier routed from
 	// sim.Config (nil when none). Each backend documents its expected
 	// function type and panics on a mismatch — a silently dropped

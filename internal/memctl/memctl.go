@@ -12,6 +12,7 @@ package memctl
 import (
 	"fmt"
 
+	"compresso/internal/compress"
 	"compresso/internal/dram"
 	"compresso/internal/obs"
 )
@@ -32,6 +33,18 @@ const LinesPerPage = PageSize / LineBytes
 type LineSource interface {
 	// ReadLine copies the 64-byte value of the OSPA line into buf.
 	ReadLine(lineAddr uint64, buf []byte)
+}
+
+// LineSizer is an optional LineSource extension: SizeLine returns
+// exactly compress.SizeOnly(codec, current line content), typically
+// memoized. Controllers may use it in place of compressing data they
+// just obtained from (or are about to hand to) the source — i.e. only
+// where the data being sized is the source's live content, which is
+// the simulator's contract for demand writebacks and InstallPage.
+// Controllers must fall back to sizing the data directly when the
+// source does not implement LineSizer.
+type LineSizer interface {
+	SizeLine(codec compress.Codec, lineAddr uint64) int
 }
 
 // Result reports the timing of one demand access.
@@ -69,6 +82,14 @@ type Stats struct {
 	ZeroLineOps     uint64 // demand ops served from metadata alone
 	PrefetchHits    uint64 // reads served by a previous access's burst
 	SpeculationMiss uint64 // LCP-only: wasted speculative accesses
+
+	// Overlapped-controller timing model (opt-in, sim.Config.Overlap):
+	// decompression pipelined against DRAM service. Hidden cycles were
+	// absorbed into the DRAM window; exposed cycles still serialized.
+	// All zero when the overlap model is off.
+	OverlapReads         uint64 // compressed reads the overlap model timed
+	OverlapHiddenCycles  uint64 // decompress cycles hidden under DRAM service
+	OverlapExposedCycles uint64 // decompress cycles still on the critical path
 
 	// Event counters.
 	LineOverflows  uint64
@@ -154,7 +175,10 @@ type Controller interface {
 
 	// InstallPage pre-populates an OSPA page with its initial lines at
 	// simulation setup, with no stat or timing charges (the paper's
-	// fast-forward to a CompressPoint).
+	// fast-forward to a CompressPoint). Implementations must not retain
+	// lines or its element slices past the call: callers may reuse the
+	// same scratch view for every page, and the elements alias live
+	// image memory.
 	InstallPage(page uint64, lines [][]byte)
 
 	// Stats returns the access accounting so far.

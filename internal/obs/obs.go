@@ -125,14 +125,19 @@ func (h *Histogram) AddSnapshot(s HistSnapshot) {
 }
 
 // Percentile returns the smallest bucket key at or below which at
-// least p percent (0..100) of the samples fall, and false when the
-// histogram is empty.
+// least p percent of the samples fall. It reports false when the
+// histogram is empty or p lies outside [0, 100] (including NaN): an
+// out-of-range p is a caller bug, and clamping it would return an
+// answer that masks it.
 func (h *Histogram) Percentile(p float64) (int, bool) {
 	return h.Snapshot().Percentile(p)
 }
 
 // Percentile is the HistSnapshot form of Histogram.Percentile.
 func (s HistSnapshot) Percentile(p float64) (int, bool) {
+	if !(p >= 0 && p <= 100) {
+		return 0, false
+	}
 	if s.Total == 0 || len(s.Buckets) == 0 {
 		return 0, false
 	}
@@ -145,12 +150,6 @@ func (s HistSnapshot) Percentile(p float64) (int, bool) {
 		keys = append(keys, b)
 	}
 	sort.Ints(keys)
-	if p < 0 {
-		p = 0
-	}
-	if p > 100 {
-		p = 100
-	}
 	need := uint64(math.Ceil(p / 100 * float64(s.Total)))
 	if need == 0 {
 		need = 1

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"math"
 	"reflect"
 	"testing"
 )
@@ -125,7 +126,7 @@ func TestHistogramPercentile(t *testing.T) {
 		p    float64
 		want int
 	}{
-		{0, 1}, {50, 1}, {51, 4}, {90, 4}, {91, 9}, {99, 9}, {100, 9}, {150, 9}, {-5, 1},
+		{0, 1}, {50, 1}, {51, 4}, {90, 4}, {91, 9}, {99, 9}, {100, 9},
 	}
 	for _, c := range cases {
 		got, ok := h.Percentile(c.p)
@@ -136,6 +137,31 @@ func TestHistogramPercentile(t *testing.T) {
 	var empty Histogram
 	if _, ok := empty.Percentile(50); ok {
 		t.Error("empty histogram reported a percentile")
+	}
+}
+
+// TestHistogramPercentileRejectsOutOfRange pins that a percentile
+// outside [0, 100] reports not-ok instead of silently clamping: a
+// caller asking for p150 or p-5 has a bug, and an answer that is
+// really p100/p0 masks it. Exercised on both the Histogram and the
+// HistSnapshot form (and NaN, which no clamp can sensibly place).
+func TestHistogramPercentileRejectsOutOfRange(t *testing.T) {
+	var h Histogram
+	h.ObserveN(1, 10)
+	h.ObserveN(9, 10)
+	for _, p := range []float64{-5, -0.001, 100.001, 150, math.NaN()} {
+		if got, ok := h.Percentile(p); ok || got != 0 {
+			t.Errorf("Percentile(%v) = %d,%v, want 0,false", p, got, ok)
+		}
+		if got, ok := h.Snapshot().Percentile(p); ok || got != 0 {
+			t.Errorf("Snapshot().Percentile(%v) = %d,%v, want 0,false", p, got, ok)
+		}
+	}
+	// The boundaries themselves stay valid.
+	for _, p := range []float64{0, 100} {
+		if _, ok := h.Percentile(p); !ok {
+			t.Errorf("Percentile(%v) not ok, want valid", p)
+		}
 	}
 }
 

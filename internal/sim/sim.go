@@ -12,6 +12,7 @@ import (
 
 	"compresso/internal/audit"
 	"compresso/internal/cache"
+	"compresso/internal/compress"
 	"compresso/internal/core"
 	"compresso/internal/cpu"
 	"compresso/internal/dram"
@@ -20,6 +21,7 @@ import (
 	"compresso/internal/memctl"
 	"compresso/internal/metadata"
 	"compresso/internal/obs"
+	"compresso/internal/parallel"
 	"compresso/internal/workload"
 
 	// Registered backends without direct config plumbing in this
@@ -137,6 +139,23 @@ type Config struct {
 	// loop with a copy; implementations must not mutate simulator
 	// state and must not assume any timing.
 	OnSample func(cycle uint64, snap obs.Snapshot)
+
+	// Overlap enables the overlapped-controller timing model on
+	// backends that support it (currently compresso): decompression
+	// latency is pipelined against DRAM service instead of charged
+	// serially after it, with the hidden/exposed split reported in the
+	// memctl.* overlap stats. Off (the default) preserves the serial
+	// model and byte-identical committed artifacts.
+	Overlap bool
+
+	// Assets, when non-nil, supplies pre-materialized workload images
+	// with warm per-line size memos (PrepareAssets). Each run clones
+	// the masters instead of regenerating and re-sizing them — sharing
+	// the page-generation and install-sizing work across the several
+	// systems of a comparison run. Must have been prepared for this
+	// config's profiles, FootprintScale and Seed; runs are
+	// byte-identical with or without it.
+	Assets *MixAssets
 
 	// Cancel, when non-nil, aborts the run cooperatively: the demand
 	// loop checks it every cancelCheckPeriod ops and unwinds with a
@@ -318,6 +337,95 @@ func (r *routedSource) ReadLine(lineAddr uint64, buf []byte) {
 	panic(fmt.Sprintf("sim: line %d outside every core's range", lineAddr))
 }
 
+// SizeLine implements memctl.LineSizer by routing to the owning
+// image's per-line size memo.
+func (r *routedSource) SizeLine(codec compress.Codec, lineAddr uint64) int {
+	page := lineAddr / memctl.LinesPerPage
+	for i := len(r.basePages) - 1; i >= 0; i-- {
+		if page >= r.basePages[i] {
+			local := lineAddr - r.basePages[i]*memctl.LinesPerPage
+			return r.images[i].SizeLine(codec, local)
+		}
+	}
+	panic(fmt.Sprintf("sim: line %d outside every core's range", lineAddr))
+}
+
+// MixAssets is the shareable, immutable-by-convention part of a run's
+// workload state: fully materialized master images with warm per-line
+// size memos, one per core. Prepare once with PrepareAssets, then run
+// several systems over clones of the masters (Config.Assets) — the
+// page generation and initial sizing work is paid once instead of per
+// system. The masters themselves are never run directly.
+type MixAssets struct {
+	scale  int
+	seed   uint64
+	ops    uint64
+	profs  []workload.Profile // post-scaling profiles
+	images []*workload.Image
+	logs   []*workload.TraceLog
+}
+
+// PrepareAssets materializes and sizes master images for the given
+// profiles under cfg's FootprintScale and Seed (the same derivation
+// RunSingle/RunMix use), fanning the page scans across jobs workers.
+// For RunMix pass every profile of the mix in order; for RunSingle a
+// single-element slice. The memo is warmed for codec (pass the codec
+// the compressed systems size with, compress.BPC{} for the defaults);
+// systems using another codec simply bypass the memo.
+//
+// Each core's op stream is also recorded once (over a throwaway
+// clone): runs with these assets replay the log instead of
+// regenerating the trace, and the log's shared store-size slots let
+// the several systems of a comparison run share the recompression of
+// stored lines — the sizes are content-determined, so replays are
+// byte-identical to generation.
+func PrepareAssets(profs []workload.Profile, cfg Config, codec compress.Codec, jobs int) *MixAssets {
+	a := &MixAssets{scale: cfg.FootprintScale, seed: cfg.Seed, ops: cfg.Ops}
+	for i, p := range profs {
+		p = scaled(p, cfg.FootprintScale)
+		img := workload.NewImage(p, cfg.Seed+uint64(i)*7919)
+		img.Materialize(jobs)
+		img.SizeAll(codec, jobs)
+		a.profs = append(a.profs, p)
+		a.images = append(a.images, img)
+	}
+	a.logs = make([]*workload.TraceLog, len(a.profs))
+	workers := parallel.Workers(jobs, len(a.profs))
+	parallel.Map(workers, len(a.profs), func(i int) struct{} {
+		a.logs[i] = workload.RecordTrace(a.images[i].Clone(), a.profs[i],
+			cfg.Seed+uint64(i)*7919, cfg.Ops, codec)
+		return struct{}{}
+	})
+	return a
+}
+
+// image returns a private clone of master i after validating that the
+// assets were prepared for this run's shape.
+func (a *MixAssets) image(i int, prof workload.Profile, seed uint64) *workload.Image {
+	a.check(i, prof, seed)
+	return a.images[i].Clone()
+}
+
+// stream returns core i's op source: a replay over an overlay of the
+// shared master when the recording matches the run's op count (no page
+// bytes are copied), else a generating trace over a private clone.
+// Output is byte-identical either way.
+func (a *MixAssets) stream(i int, prof workload.Profile, seed, ops uint64) workload.OpStream {
+	if a.logs != nil && a.logs[i] != nil && a.ops == ops {
+		a.check(i, prof, seed)
+		return a.logs[i].ReplayOver(a.images[i])
+	}
+	return workload.NewTraceOn(a.image(i, prof, seed), prof, seed, ops)
+}
+
+// check validates that the assets were prepared for this run's shape.
+func (a *MixAssets) check(i int, prof workload.Profile, seed uint64) {
+	if i >= len(a.images) || a.profs[i].Name != prof.Name ||
+		a.profs[i].FootprintPages != prof.FootprintPages || a.seed+uint64(i)*7919 != seed {
+		panic(fmt.Sprintf("sim: Assets prepared for different run shape (core %d, profile %s)", i, prof.Name))
+	}
+}
+
 // scaledL3Bytes shrinks the L3 with the footprint so a fixed cache
 // cannot cover the whole scaled footprint and hide memory pressure
 // (the metadata-cache analogue lives in
@@ -379,6 +487,7 @@ func buildController(cfg Config, sys System, ospaPages int, mem *dram.Memory, sr
 		Mem:            mem,
 		Source:         src,
 		Injector:       inj,
+		Overlap:        cfg.Overlap,
 		Mod:            cfg.backendMod(sys),
 	})
 	return ctl, inj
@@ -410,7 +519,12 @@ func scaled(p workload.Profile, scale int) workload.Profile {
 // RunSingle simulates one benchmark on a single-core system.
 func RunSingle(prof workload.Profile, cfg Config) Result {
 	prof = scaled(prof, cfg.FootprintScale)
-	tr := workload.NewTrace(prof, cfg.Seed, cfg.Ops)
+	var tr workload.OpStream
+	if cfg.Assets != nil {
+		tr = cfg.Assets.stream(0, prof, cfg.Seed, cfg.Ops)
+	} else {
+		tr = workload.NewTrace(prof, cfg.Seed, cfg.Ops)
+	}
 	img := tr.Image()
 
 	mem := dram.New(cfg.DRAM)
@@ -516,9 +630,15 @@ func attachTracer(cfg Config, ctl memctl.Controller) *obs.Tracer {
 	return tracer
 }
 
+// resetAll marks the warmup boundary: all counters restart, and the
+// DRAM model additionally drops its in-flight bus/bank timing so the
+// first measured accesses aren't charged wait cycles for warmup
+// traffic the stats no longer count (row buffers and cache contents
+// stay warm).
 func resetAll(ctl memctl.Controller, mem *dram.Memory, hiers ...interface{ ResetStats() }) {
 	ctl.ResetStats()
 	mem.ResetStats()
+	mem.ResetTiming()
 	for _, h := range hiers {
 		h.ResetStats()
 	}
@@ -632,13 +752,18 @@ func RunMix(mixName string, profs []workload.Profile, cfg Config) MultiResult {
 	if n == 0 {
 		panic("sim: empty mix")
 	}
-	traces := make([]*workload.Trace, n)
+	traces := make([]workload.OpStream, n)
 	images := make([]*workload.Image, n)
 	base := make([]uint64, n)
 	var nextPage uint64
 	for i, p := range profs {
 		p = scaled(p, cfg.FootprintScale)
-		traces[i] = workload.NewTrace(p, cfg.Seed+uint64(i)*7919, cfg.Ops)
+		seed := cfg.Seed + uint64(i)*7919
+		if cfg.Assets != nil {
+			traces[i] = cfg.Assets.stream(i, p, seed, cfg.Ops)
+		} else {
+			traces[i] = workload.NewTrace(p, seed, cfg.Ops)
+		}
 		images[i] = traces[i].Image()
 		base[i] = nextPage
 		nextPage += uint64(p.FootprintPages)
@@ -657,9 +782,7 @@ func RunMix(mixName string, profs []workload.Profile, cfg Config) MultiResult {
 	src := &routedSource{basePages: base, images: images}
 	ctl, inj := buildController(cfg, cfg.System, int(nextPage), mem, src)
 	for i := range images {
-		for p := uint64(0); p < uint64(images[i].FootprintPages()); p++ {
-			ctl.InstallPage(base[i]+p, images[i].Page(p))
-		}
+		images[i].InstallIntoAt(ctl, base[i])
 	}
 	auditor := newAuditor(cfg, ctl)
 	tracer := attachTracer(cfg, ctl)

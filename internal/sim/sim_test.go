@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"compresso/internal/core"
+	"compresso/internal/memctl"
 	"compresso/internal/workload"
 )
 
@@ -332,5 +333,48 @@ func TestWeightedSpeedupDegenerateBaseline(t *testing.T) {
 	}
 	if want := (1.5 + 0.8) / 2; ws != want {
 		t.Fatalf("speedup %v, want %v", ws, want)
+	}
+}
+
+// TestOverlapModel pins the opt-in overlapped-controller timing model:
+// with Overlap off every overlap counter is zero and the serial model is
+// untouched; with Overlap on only timing changes — access accounting and
+// compression ratio are bit-identical, the run can only get faster, and
+// hidden + exposed cycles conserve DecompressLatency per timed read.
+func TestOverlapModel(t *testing.T) {
+	prof, _ := workload.ByName("milc")
+	cfgOff := quickCfg(Compresso)
+	cfgOn := quickCfg(Compresso)
+	cfgOn.Overlap = true
+	off := RunSingle(prof, cfgOff)
+	on := RunSingle(prof, cfgOn)
+
+	if off.Mem.OverlapReads != 0 || off.Mem.OverlapHiddenCycles != 0 || off.Mem.OverlapExposedCycles != 0 {
+		t.Fatalf("overlap counters nonzero with Overlap off: %+v", off.Mem)
+	}
+	if on.Mem.OverlapReads == 0 || on.Mem.OverlapHiddenCycles == 0 {
+		t.Fatalf("overlap model hid nothing on a memory-heavy benchmark: %+v", on.Mem)
+	}
+	// Timing-only: zero the overlap counters and the access accounting
+	// must match the serial run exactly.
+	scrubbed := on.Mem
+	scrubbed.OverlapReads = 0
+	scrubbed.OverlapHiddenCycles = 0
+	scrubbed.OverlapExposedCycles = 0
+	if scrubbed != off.Mem {
+		t.Fatalf("overlap changed access accounting:\n on  %+v\n off %+v", scrubbed, off.Mem)
+	}
+	if on.Ratio != off.Ratio {
+		t.Fatalf("overlap changed compression ratio: %v vs %v", on.Ratio, off.Ratio)
+	}
+	if on.Cycles > off.Cycles {
+		t.Fatalf("overlap slowed the run: %d cycles vs %d serial", on.Cycles, off.Cycles)
+	}
+	// Conservation: every overlap-timed read splits exactly
+	// DecompressLatency into hidden + exposed.
+	decomp := core.DefaultConfig(1, memctl.PageSize).DecompressLatency
+	if got, want := on.Mem.OverlapHiddenCycles+on.Mem.OverlapExposedCycles, on.Mem.OverlapReads*decomp; got != want {
+		t.Fatalf("hidden %d + exposed %d = %d, want OverlapReads %d * DecompressLatency %d = %d",
+			on.Mem.OverlapHiddenCycles, on.Mem.OverlapExposedCycles, got, on.Mem.OverlapReads, decomp, want)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"compresso/internal/compress"
 	"compresso/internal/datagen"
 	"compresso/internal/memctl"
+	"compresso/internal/parallel"
 	"compresso/internal/rng"
 )
 
@@ -23,7 +24,31 @@ type Image struct {
 	// spread the stratified kind assignment across page indices (1
 	// when no coprime scramble exists).
 	scramble uint64
-	pages    map[uint64]datagen.Page
+
+	// flat is the single backing array for every page's bytes
+	// (FootprintPages * PageSize), allocated on first touch; gen marks
+	// which pages have been generated. One array keeps Line() a plain
+	// subslice, makes Clone one memmove, and gives the GC a single
+	// pointer-free object to track instead of one per page.
+	flat []byte
+	gen  []bool
+	// pages caches the per-page line-view slices handed out by Page()
+	// (nil until requested; the demand path never builds them).
+	pages []datagen.Page
+
+	// Per-line compressed-size memo for one codec (bound on first
+	// SizeLine/SizeAll call, identified by Codec.Name). -1 marks a line
+	// whose size is unknown or stale; stores invalidate via noteStore.
+	sizeCodec string
+	lineSize  []int16
+
+	// Store-size sharing for recorded-trace replays (TraceLog.Replay):
+	// lastStore[line] is 1 + the index of the last recorded store the
+	// line received (0 = pristine generated content, covered by the
+	// regular memo), and share points at the log owning the shared
+	// slots. Nil outside replays.
+	share     *TraceLog
+	lastStore []int32
 }
 
 // NewImage builds the (lazy) image for a profile.
@@ -42,7 +67,6 @@ func NewImage(prof Profile, seed uint64) *Image {
 		mix:      mix,
 		noise:    noise,
 		scramble: 1,
-		pages:    make(map[uint64]datagen.Page),
 	}
 	norm := mix.Normalized()
 	acc := 0.0
@@ -99,36 +123,125 @@ func (im *Image) FootprintBytes() int64 {
 	return int64(im.prof.FootprintPages) * memctl.PageSize
 }
 
-// Page returns (generating if necessary) the page's line values.
-// The returned slices are the live image: writes through them are
-// visible to subsequent reads.
-func (im *Image) Page(page uint64) datagen.Page {
+// ensureFlat allocates the flat backing on first touch. Must be called
+// (or have happened) before any concurrent page generation.
+func (im *Image) ensureFlat() {
+	if im.flat == nil {
+		im.flat = make([]byte, im.prof.FootprintPages*memctl.PageSize)
+		im.gen = make([]bool, im.prof.FootprintPages)
+	}
+}
+
+// pageBytes returns the page's 4 KB byte range, generating it first if
+// needed.
+func (im *Image) pageBytes(page uint64) []byte {
 	if page >= uint64(im.prof.FootprintPages) {
 		panic(fmt.Sprintf("workload: page %d beyond footprint %d", page, im.prof.FootprintPages))
 	}
-	if p, ok := im.pages[page]; ok {
+	im.ensureFlat()
+	if !im.gen[page] {
+		im.generateInto(page)
+		im.gen[page] = true
+	}
+	return im.flat[page*memctl.PageSize : (page+1)*memctl.PageSize]
+}
+
+// Page returns (generating if necessary) the page's line values.
+// The returned slices are the live image: writes through them are
+// visible to subsequent reads (on replay overlays they are read-only
+// and rebuilt per call so stored-to lines resolve through the log).
+func (im *Image) Page(page uint64) datagen.Page {
+	if im.lastStore != nil {
+		if page >= uint64(im.prof.FootprintPages) {
+			panic(fmt.Sprintf("workload: page %d beyond footprint %d", page, im.prof.FootprintPages))
+		}
+		p := make(datagen.Page, datagen.LinesPerPage)
+		base := page * memctl.LinesPerPage
+		for j := range p {
+			p[j] = im.Line(base + uint64(j))
+		}
 		return p
 	}
-	// Mix the profile name into the per-page stream so that different
-	// benchmarks sharing a numeric seed draw independent page kinds
-	// (one shared stream would correlate their sampling error).
-	r := rng.New(im.seed ^ (page+1)*0x9e3779b97f4a7c15 ^ nameHash(im.prof.Name))
-	kind := im.kindOf(page)
-	var p datagen.Page
-	if kind == datagen.Zero {
-		// Zero pages stay all-zero (no noise): freshly allocated memory.
-		p = datagen.GeneratePage(r, kind, 0, im.noise)
-	} else {
-		p = datagen.GeneratePage(r, kind, 0.1, im.noise)
+	b := im.pageBytes(page)
+	if im.pages == nil {
+		im.pages = make([]datagen.Page, im.prof.FootprintPages)
+	}
+	if p := im.pages[page]; p != nil {
+		return p
+	}
+	p := make(datagen.Page, datagen.LinesPerPage)
+	for j := range p {
+		p[j] = b[j*compress.LineSize : (j+1)*compress.LineSize : (j+1)*compress.LineSize]
 	}
 	im.pages[page] = p
 	return p
 }
 
-// Line returns the live 64-byte value of an OSPA line.
+// generateInto builds a page's content from scratch into the flat
+// backing. Pure in its inputs: depends only on the image's immutable
+// parameters and the page number, so concurrent generation of distinct
+// pages is race-free and deterministic.
+func (im *Image) generateInto(page uint64) {
+	// Mix the profile name into the per-page stream so that different
+	// benchmarks sharing a numeric seed draw independent page kinds
+	// (one shared stream would correlate their sampling error).
+	r := rng.New(im.seed ^ (page+1)*0x9e3779b97f4a7c15 ^ nameHash(im.prof.Name))
+	kind := im.kindOf(page)
+	buf := im.flat[page*memctl.PageSize : (page+1)*memctl.PageSize]
+	if kind == datagen.Zero {
+		// Zero pages stay all-zero (no noise): freshly allocated memory.
+		datagen.GeneratePageInto(r, kind, 0, im.noise, buf)
+		return
+	}
+	datagen.GeneratePageInto(r, kind, 0.1, im.noise, buf)
+}
+
+// Materialize generates every not-yet-generated page, fanning page
+// generation across a bounded worker pool (jobs<=0 = all cores). Each
+// worker owns a strided subset of the page index space, so workers
+// write disjoint flat/gen ranges and the result is byte-identical to
+// serial generation at any jobs.
+func (im *Image) Materialize(jobs int) {
+	n := im.prof.FootprintPages
+	im.ensureFlat()
+	gen := func(p int) {
+		if !im.gen[p] {
+			im.generateInto(uint64(p))
+			im.gen[p] = true
+		}
+	}
+	workers := parallel.Workers(jobs, n)
+	if workers <= 1 {
+		for p := 0; p < n; p++ {
+			gen(p)
+		}
+		return
+	}
+	parallel.Map(workers, workers, func(w int) struct{} {
+		for p := w; p < n; p += workers {
+			gen(p)
+		}
+		return struct{}{}
+	})
+}
+
+// Line returns the live 64-byte value of an OSPA line. On a replay
+// overlay, a stored-to line's value lives in the recorded log; callers
+// must treat the returned slice as read-only (the trace layer's own
+// store path never runs on overlays).
 func (im *Image) Line(lineAddr uint64) []byte {
-	page, line := lineAddr/memctl.LinesPerPage, lineAddr%memctl.LinesPerPage
-	return im.Page(page)[line]
+	if im.lastStore != nil {
+		if k := im.lastStore[lineAddr]; k > 0 {
+			off := uint64(k-1) * compress.LineSize
+			return im.share.data[off : off+compress.LineSize : off+compress.LineSize]
+		}
+	}
+	page := lineAddr / memctl.LinesPerPage
+	if im.flat == nil || !im.gen[page] {
+		im.pageBytes(page)
+	}
+	off := lineAddr * compress.LineSize
+	return im.flat[off : off+compress.LineSize : off+compress.LineSize]
 }
 
 // ReadLine implements memctl.LineSource.
@@ -139,6 +252,148 @@ func (im *Image) ReadLine(lineAddr uint64, buf []byte) {
 // Lines returns the number of lines in the image.
 func (im *Image) Lines() uint64 {
 	return uint64(im.prof.FootprintPages) * memctl.LinesPerPage
+}
+
+// bindSizeCodec lazily attaches the size memo to a codec. Returns
+// false when the memo is already bound to a different codec (callers
+// then bypass the memo and size directly).
+func (im *Image) bindSizeCodec(codec compress.Codec) bool {
+	name := codec.Name()
+	if im.lineSize == nil {
+		im.sizeCodec = name
+		im.lineSize = make([]int16, im.Lines())
+		for i := range im.lineSize {
+			im.lineSize[i] = -1
+		}
+		return true
+	}
+	return im.sizeCodec == name
+}
+
+// SizeLine returns compress.SizeOnly(codec, line-content), memoized
+// per line. The memo binds to the first codec used; sizing under any
+// other codec bypasses it. Stores through the trace layer invalidate
+// the touched line, so the memo always reflects live content.
+func (im *Image) SizeLine(codec compress.Codec, lineAddr uint64) int {
+	if im.lastStore != nil {
+		// Replay overlay: the memo is shared read-only with the master
+		// image (concurrent replays may be reading it), so nothing is
+		// written here. A stored-to line resolves through the log's
+		// shared slots; a pristine line's master entry is still valid.
+		if im.lastStore[lineAddr] > 0 {
+			if n, ok := im.sharedStoreSize(codec, lineAddr); ok {
+				return n
+			}
+			return compress.SizeOnly(codec, im.Line(lineAddr))
+		}
+		if im.lineSize != nil && im.sizeCodec == codec.Name() {
+			if n := im.lineSize[lineAddr]; n >= 0 {
+				return int(n)
+			}
+		}
+		return compress.SizeOnly(codec, im.Line(lineAddr))
+	}
+	if !im.bindSizeCodec(codec) {
+		return compress.SizeOnly(codec, im.Line(lineAddr))
+	}
+	if n := im.lineSize[lineAddr]; n >= 0 {
+		return int(n)
+	}
+	n := compress.SizeOnly(codec, im.Line(lineAddr))
+	if n >= 0 && n <= 0x7fff {
+		im.lineSize[lineAddr] = int16(n)
+	}
+	return n
+}
+
+// SizeAll warms the size memo for every line in the image, batched
+// page-at-a-time and fanned across a bounded worker pool exactly like
+// Materialize. Sizing a page is pure, so the memo contents are
+// byte-identical at any jobs.
+func (im *Image) SizeAll(codec compress.Codec, jobs int) {
+	im.Materialize(jobs)
+	if !im.bindSizeCodec(codec) {
+		return
+	}
+	n := im.prof.FootprintPages
+	sizePage := func(p int) {
+		base := uint64(p) * memctl.LinesPerPage
+		buf := im.flat[uint64(p)*memctl.PageSize : uint64(p+1)*memctl.PageSize]
+		for i := 0; i < datagen.LinesPerPage; i++ {
+			if im.lineSize[base+uint64(i)] >= 0 {
+				continue
+			}
+			sz := compress.SizeOnly(codec, buf[i*compress.LineSize:(i+1)*compress.LineSize])
+			if sz >= 0 && sz <= 0x7fff {
+				im.lineSize[base+uint64(i)] = int16(sz)
+			}
+		}
+	}
+	workers := parallel.Workers(jobs, n)
+	if workers <= 1 {
+		for p := 0; p < n; p++ {
+			sizePage(p)
+		}
+		return
+	}
+	parallel.Map(workers, workers, func(w int) struct{} {
+		for p := w; p < n; p += workers {
+			sizePage(p)
+		}
+		return struct{}{}
+	})
+}
+
+// noteStore invalidates the size memo for a mutated line. The trace
+// layer calls it on every store. (The trace layer's store path never
+// runs on replay overlays — their bytes are shared with the master —
+// so this only ever touches an image that owns its memo.)
+func (im *Image) noteStore(lineAddr uint64) {
+	if im.lineSize != nil {
+		im.lineSize[lineAddr] = -1
+	}
+}
+
+// overlay builds a replay view of a fully materialized image: the page
+// bytes, gen map and size memo are shared read-only with the receiver
+// (SizeLine shadows stored-to lines via lastStore instead of
+// invalidating memo entries), and the store overlay starts empty, so
+// creating an overlay allocates only the lastStore index. The receiver
+// must not be mutated while overlays exist.
+func (im *Image) overlay(lg *TraceLog) *Image {
+	cp := *im
+	cp.pages = nil // view cache would bypass the store overlay
+	cp.share = lg
+	cp.lastStore = make([]int32, im.Lines())
+	return &cp
+}
+
+// noteSharedStore records which log entry now owns a replayed line's
+// content. The (shared) size memo is left untouched: SizeLine consults
+// lastStore before the memo, so the stale entry is shadowed.
+func (im *Image) noteSharedStore(lineAddr uint64, store int32) {
+	im.lastStore[lineAddr] = store + 1
+}
+
+// Clone returns a deep copy of the image: independent page contents
+// and an independent (equally warm) size memo. Mutations to either
+// copy never affect the other. Pages not yet generated stay lazy in
+// the clone. The flat backing makes this one memmove per array rather
+// than per-page work.
+func (im *Image) Clone() *Image {
+	cp := *im
+	cp.pages = nil // view cache points into the source's backing
+	if im.flat != nil {
+		cp.flat = append([]byte(nil), im.flat...)
+		cp.gen = append([]bool(nil), im.gen...)
+	}
+	if im.lineSize != nil {
+		cp.lineSize = append([]int16(nil), im.lineSize...)
+	}
+	if im.lastStore != nil {
+		cp.lastStore = append([]int32(nil), im.lastStore...)
+	}
+	return &cp
 }
 
 // MeasureRatio computes the image's current compression ratio under
@@ -164,7 +419,31 @@ func (im *Image) MeasureRatio(codec compress.Codec, bins compress.Bins, stride i
 // InstallInto installs the whole image into a controller (simulation
 // warm start).
 func (im *Image) InstallInto(ctl memctl.Controller) {
+	im.InstallIntoAt(ctl, 0)
+}
+
+// InstallIntoAt installs the whole image into ctl with its pages offset
+// by basePage (the multi-core OSPA layout). The lines slice handed to
+// InstallPage is a per-call scratch view over the live image; the
+// Controller contract forbids retaining it, so no per-page view arrays
+// are allocated.
+func (im *Image) InstallIntoAt(ctl memctl.Controller, basePage uint64) {
+	var scratch [datagen.LinesPerPage][]byte
 	for p := uint64(0); p < uint64(im.prof.FootprintPages); p++ {
-		ctl.InstallPage(p, im.Page(p))
+		if im.lastStore != nil {
+			// Replay overlay: resolve each line through the store
+			// overlay (a fresh overlay is pristine, but stay correct if
+			// installation ever follows stores).
+			base := p * memctl.LinesPerPage
+			for j := range scratch {
+				scratch[j] = im.Line(base + uint64(j))
+			}
+		} else {
+			b := im.pageBytes(p)
+			for j := range scratch {
+				scratch[j] = b[j*compress.LineSize : (j+1)*compress.LineSize : (j+1)*compress.LineSize]
+			}
+		}
+		ctl.InstallPage(basePage+p, scratch[:])
 	}
 }

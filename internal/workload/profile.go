@@ -185,9 +185,10 @@ func measureBinnedSize(m datagen.Mix) float64 {
 	codec := compress.BPC{}
 	const n = 400
 	total := 0
+	var line [compress.LineSize]byte
 	for i := 0; i < n; i++ {
-		line := datagen.Line(r, m.Pick(r))
-		total += compress.LegacyBins.Fit(compress.SizeOnly(codec, line))
+		datagen.FillLine(r, m.Pick(r), line[:])
+		total += compress.LegacyBins.Fit(compress.SizeOnly(codec, line[:]))
 	}
 	return float64(total) / n
 }

@@ -38,7 +38,15 @@ type Trace struct {
 // profile's phases onto the stream; use the number of operations you
 // intend to draw (more draws simply repeat the last phase).
 func NewTrace(prof Profile, seed uint64, totalOps uint64) *Trace {
-	img := NewImage(prof, seed)
+	return NewTraceOn(NewImage(prof, seed), prof, seed, totalOps)
+}
+
+// NewTraceOn builds a trace over a caller-supplied image. img must be
+// equivalent to NewImage(prof, seed) — typically a Clone of a shared
+// master image (sim.MixAssets) — or determinism versus NewTrace is
+// lost. The trace's RNG stream is independent of the image's, so a
+// pre-materialized image yields a byte-identical run.
+func NewTraceOn(img *Image, prof Profile, seed uint64, totalOps uint64) *Trace {
 	r := rng.New(seed*0x5851f42d4c957f2d + 1)
 	hotCount := int(float64(prof.FootprintPages) * prof.HotFraction)
 	if hotCount < 1 {
@@ -161,6 +169,7 @@ func (t *Trace) Next(op *Op) {
 // behaviour.
 func (t *Trace) applyStore(addr uint64) {
 	line := t.img.Line(addr)
+	t.img.noteStore(addr)
 	kindChange, zeroStore, storeMix, hasMix := t.phase()
 	if !t.r.Bool(kindChange) {
 		datagen.Perturb(t.r, line)
