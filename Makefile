@@ -74,6 +74,8 @@ bench-json:
 		-trace-events 1024 -json-summary -json .bench-json-tmp > /dev/null
 	$(GO) run ./cmd/compresso-sim -bench gcc -system cxl -ops 100000 -scale 8 \
 		-trace-events 1024 -json-summary -json .bench-json-tmp > /dev/null
+	$(GO) run ./cmd/compresso-sim -exp attribution -quick \
+		-json .bench-json-tmp > /dev/null
 	@for f in .bench-json-tmp/*.json; do \
 		mv "$$f" "BENCH_$$(basename $$f)"; done; rm -rf .bench-json-tmp
 	@ls BENCH_*.json
@@ -90,7 +92,7 @@ backends:
 	@rm -rf .backends; mkdir -p .backends
 	@$(GO) build -o .backends/compresso-sim ./cmd/compresso-sim
 	@set -e; trap 'rm -rf .backends' EXIT; \
-	$(GO) test -count 1 -run 'TestBackendConformance|TestAllSystemsCoversRegistry' ./internal/sim/ > /dev/null; \
+	$(GO) test -count 1 -run 'TestBackendConformance|TestAllSystemsCoversRegistry|TestAttribution' ./internal/sim/ > /dev/null; \
 	names=$$(.backends/compresso-sim -systems | tail -n +3 | cut -d' ' -f1); \
 	for b in $$names; do \
 		.backends/compresso-sim -bench gcc -system $$b -ops 20000 -scale 16 \
@@ -125,6 +127,10 @@ obs-smoke:
 	curl -sf "http://$$addr/healthz" | grep -q ok; \
 	curl -sf "http://$$addr/progress" | grep -q cells_total; \
 	curl -sf "http://$$addr/timeseries" | grep -q harness; \
+	curl -sf "http://$$addr/attribution" | grep -q charged_cycles; \
+	curl -sf "http://$$addr/events?limit=5" > /dev/null; \
+	code=$$(curl -s -o /dev/null -w '%{http_code}' "http://$$addr/events?kind=bogus"); \
+	[ "$$code" = "400" ] || { echo "obs-smoke: bad kind filter returned $$code, want 400"; exit 1; }; \
 	curl -sf "http://$$addr/metrics" > .obs-smoke/metrics.txt; \
 	.obs-smoke/compresso-sim -promcheck .obs-smoke/metrics.txt; \
 	echo "obs-smoke: ok ($$addr)"

@@ -8,6 +8,7 @@
 //	compresso-sim -exp fig2 [-quick] [-seed N]
 //	compresso-sim -exp all [-quick]
 //	compresso-sim -bench gcc -system <any registered backend> [-ops N] [-scale N]
+//	compresso-sim -bench gcc -attribution [-top-pages N]
 package main
 
 import (
@@ -67,6 +68,8 @@ func main() {
 		scale    = flag.Int("scale", 4, "footprint divisor for -bench")
 		compare  = flag.Bool("compare", false, "with -bench: run all four systems and compare")
 		overlap  = flag.Bool("overlap", false, "opt-in overlapped-controller timing: pipeline decompression latency against DRAM service (memctl.overlap_* stats); off preserves the serial model")
+		attrF    = flag.Bool("attribution", false, "attach the cycle-accounting ledger to -bench/-mix runs: per-component latency breakdown, hot-page profile, attr.* metrics (observation-only; results are byte-identical either way)")
+		topPages = flag.Int("top-pages", 0, fmt.Sprintf("with -attribution: bound the hot-page overhead profile to the top N pages (0 uses the default %d)", sim.DefaultTopPages))
 		inject   = flag.String("inject", "", "fault-injection spec, e.g. bitflip:1e-6,mdmiss:1e-4 (sites: bitflip, metaflip, chunkdrop, chunkdup, mdmiss, tracetrunc)")
 		auditEv  = flag.Uint64("audit-every", 0, "run a repairing state audit every N demand ops (0 disables)")
 		jsonDir  = flag.String("json", "", "write JSON artifacts for every run/experiment into this directory")
@@ -120,6 +123,8 @@ func main() {
 	sampleEvery = *sampleEv
 	sampleWindows = *sampleWin
 	summaryArtifacts = *jsonSum
+	attributionOn = *attrF
+	topPagesN = *topPages
 
 	// An explicit -seed makes any value authoritative, including 0
 	// (which would otherwise alias the default 42); an explicit
@@ -444,12 +449,16 @@ func runPromCheck(path string) {
 }
 
 // writeTraceOut exports the -trace-out Perfetto/Chrome trace: the last
-// run's controller events (pid 1, needs -trace-events) plus the
-// experiment grids' per-cell spans (pid 2).
+// run's controller events (pid 1, needs -trace-events), the experiment
+// grids' per-cell spans (pid 2), and the attribution ledger's
+// cumulative exposed-cycle counter tracks (pid 3, needs -attribution).
 func writeTraceOut(path string, tracker *progress.Tracker) {
 	events := lastTrace.ChromeEvents(1)
 	if tracker != nil {
 		events = append(events, tracker.ChromeEvents(2)...)
+	}
+	if lastAttr.Accesses > 0 {
+		events = append(events, lastAttr.ChromeCounters(3)...)
 	}
 	if err := obs.WriteChromeTrace(path, events); err != nil {
 		fatal(err)
@@ -469,9 +478,13 @@ var (
 	sampleWindows    int
 	summaryArtifacts bool
 	server           *obshttp.Server
+	attributionOn    bool
+	topPagesN        int
 	// lastTrace is the most recent run's controller-event trace, the
-	// pid-1 half of -trace-out.
+	// pid-1 half of -trace-out; lastAttr is the matching attribution
+	// ledger, exported as pid-3 counter tracks.
 	lastTrace obs.Trace
+	lastAttr  obs.AttributionSnapshot
 )
 
 func finishProfiles() {
@@ -563,25 +576,32 @@ func robustify(cfg *sim.Config, spec string, auditEvery uint64) {
 	cfg.TraceEvents = traceEvents
 }
 
-// attachLive wires the -sample-every time-series sampler into a run
-// config and, when -serve is active, feeds each sample to the live
-// server under the given run name.
+// attachLive wires the observation flags into a run config: the
+// -sample-every time-series sampler (feeding the live server when
+// -serve is active) and the -attribution cycle-accounting ledger.
 func attachLive(cfg *sim.Config, name string) {
 	cfg.SampleEvery = sampleEvery
 	cfg.SampleWindows = sampleWindows
+	cfg.Attribution = attributionOn
+	cfg.TopPages = topPagesN
 	if server != nil && cfg.SampleEvery > 0 {
 		server.AttachRun(name, cfg.SampleEvery)
 		cfg.OnSample = server.SampleRun
 	}
 }
 
-// publishRun pushes a finished run's snapshot and trace to the live
-// server and records the trace for -trace-out.
-func publishRun(name string, snap obs.Snapshot, trace obs.Trace) {
+// publishRun pushes a finished run's snapshot, trace and attribution
+// ledger to the live server and records the trace/ledger for
+// -trace-out.
+func publishRun(name string, snap obs.Snapshot, trace obs.Trace, attr obs.AttributionSnapshot) {
 	lastTrace = trace
+	lastAttr = attr
 	if server != nil {
 		server.PublishRun(name, snap)
 		server.PublishTrace(trace)
+		if attr.Accesses > 0 {
+			server.PublishAttribution(attr)
+		}
 	}
 }
 
@@ -693,7 +713,7 @@ func runMixCLI(name string, ops uint64, scale int, seed uint64, inject string, a
 	tbl := stats.NewTable("system", "weighted-speedup", "ratio", "extra-accesses")
 	var base sim.MultiResult
 	for i, r := range runs {
-		publishRun(r.name, r.snap, r.res.Trace)
+		publishRun(r.name, r.snap, r.res.Trace, r.res.Attribution)
 		writeRunArtifact("mix", r.name, runArtifact(r.res, r.snap))
 		if systems[i] == sim.Uncompressed {
 			base = r.res
@@ -710,6 +730,7 @@ func runMixCLI(name string, ops uint64, scale int, seed uint64, inject string, a
 	last := runs[len(runs)-1]
 	printRobustness(last.res.Mem, last.res.Faults, last.res.Audit)
 	printObsSummary(last.snap, last.res.Trace)
+	printAttribution(last.res.Attribution)
 }
 
 func runBench(bench, system string, ops uint64, scale int, seed uint64, compare bool, inject string, auditEvery uint64, jobs int, overlap bool) {
@@ -757,7 +778,7 @@ func runBench(bench, system string, ops uint64, scale int, seed uint64, compare 
 	})
 	tbl := stats.NewTable("system", "cycles", "ipc", "ratio", "extra-accesses", "l3-miss", "md-hit")
 	for _, r := range runs {
-		publishRun(r.name, r.snap, r.res.Trace)
+		publishRun(r.name, r.snap, r.res.Trace, r.res.Attribution)
 		writeRunArtifact("bench", r.name, runArtifact(r.res, r.snap))
 		tbl.AddRow(r.res.System, r.res.Cycles, r.res.IPC, r.res.Ratio,
 			r.res.Mem.RelativeExtra(), r.res.L3MissRate, r.res.MDCache.HitRate())
@@ -768,4 +789,40 @@ func runBench(bench, system string, ops uint64, scale int, seed uint64, compare 
 	last := runs[len(runs)-1]
 	printRobustness(last.res.Mem, last.res.Faults, last.res.Audit)
 	printObsSummary(last.snap, last.res.Trace)
+	printAttribution(last.res.Attribution)
+}
+
+// printAttribution renders the -attribution end-of-run breakdown:
+// per-component exposed/hidden cycles (components that never charged
+// are omitted) and the hot-page overhead profile.
+func printAttribution(a obs.AttributionSnapshot) {
+	if a.Accesses == 0 {
+		return
+	}
+	fmt.Printf("attribution: %d accesses, %d charged cycles, %d conservation violations\n",
+		a.Accesses, a.ChargedCycles, a.Violations)
+	if a.FirstViolation != "" {
+		fmt.Println("  first violation:", a.FirstViolation)
+	}
+	tbl := stats.NewTable("component", "exposed-cycles", "share", "hidden-cycles", "charges")
+	for _, c := range a.Components {
+		if c.ExposedCycles == 0 && c.HiddenCycles == 0 {
+			continue
+		}
+		var share float64
+		if a.ChargedCycles > 0 {
+			share = float64(c.ExposedCycles) / float64(a.ChargedCycles)
+		}
+		tbl.AddRow(c.Component, c.ExposedCycles, share, c.HiddenCycles, c.Charges)
+	}
+	tbl.Render(os.Stdout)
+	if len(a.HotPages) == 0 {
+		return
+	}
+	fmt.Println("hottest pages by attribution overhead:")
+	tbl = stats.NewTable("page", "overhead-cycles", "accesses", "err-bound")
+	for _, p := range a.HotPages {
+		tbl.AddRow(fmt.Sprintf("%#x", p.Page), p.OverheadCycles, p.Accesses, p.ErrorBound)
+	}
+	tbl.Render(os.Stdout)
 }

@@ -64,6 +64,8 @@ type Controller struct {
 	// every event of that access carries.
 	tr   *obs.Tracer
 	tnow uint64
+	// attr is the cycle-accounting attribution ledger (nil disables).
+	attr *obs.Attribution
 	// corrupt marks OSPA lines whose stored compressed bits were hit
 	// by an injected flip: the stored copy no longer matches the
 	// authoritative LineSource until a writeback or repair replaces it.
@@ -127,6 +129,9 @@ func (c *Controller) ResetStats() {
 
 // SetTracer installs the controller-event tracer (nil disables).
 func (c *Controller) SetTracer(t *obs.Tracer) { c.tr = t }
+
+// SetAttribution installs the cycle-accounting ledger (nil disables).
+func (c *Controller) SetAttribution(a *obs.Attribution) { c.attr = a }
 
 // GlobalPredictorValue exposes the 3-bit global predictor for tests.
 func (c *Controller) GlobalPredictorValue() uint8 { return c.global.Value() }
@@ -386,10 +391,12 @@ func (c *Controller) lookupMetadata(now uint64, page uint64) (*metadata.Line, ui
 		}
 	}
 	if l, ok := c.mdc.Lookup(page); ok {
+		c.attr.Exposed(obs.CompMDCacheHit, c.cfg.MetadataHitLatency)
 		return l, now + c.cfg.MetadataHitLatency
 	}
 	c.stats.MetadataReads++
 	done := c.mem.Access(now, c.mdMachineLine(page), false)
+	c.attr.Exposed(obs.CompMDFetch, done-now)
 	c.loadBacking(now, page)
 	ps := &c.pages[page]
 	half := ps.meta.Valid && !ps.meta.Compressed
@@ -411,6 +418,8 @@ func (c *Controller) ensureFull(now uint64, page uint64, l *metadata.Line) {
 	}
 	c.stats.MetadataReads++
 	c.mem.Access(now, c.mdMachineLine(page), false)
+	queue, service := c.mem.LastBreakdown()
+	c.attr.Hidden(obs.CompMDFetch, queue+service)
 	c.handleEvictions(now, c.mdc.Promote(l))
 }
 
@@ -419,6 +428,8 @@ func (c *Controller) handleEvictions(now uint64, evicted []metadata.Evicted) {
 		if ev.Dirty {
 			c.stats.MetadataWrites++
 			c.mem.Access(now, c.mdMachineLine(ev.Page), true)
+			queue, service := c.mem.LastBreakdown()
+			c.attr.Hidden(obs.CompMDFetch, queue+service)
 			c.storeBacking(ev.Page)
 		}
 		if c.cfg.DynamicRepacking {
@@ -514,17 +525,37 @@ func (c *Controller) accessSpan(start uint64, ps *pageState, off, size int, writ
 	split := compress.SplitAccess(off, size)
 	if write {
 		c.writeData(start, first, false)
+		queue, service := c.mem.LastBreakdown()
+		c.attr.Hidden(obs.CompDRAMQueue, queue)
+		c.attr.Hidden(obs.CompDRAMService, service)
 		if split {
 			c.writeData(start, c.dataMachineLine(ps, off+size-1), true)
+			queue, service = c.mem.LastBreakdown()
+			c.attr.Hidden(obs.CompSplit, queue+service)
 		}
 		return start
 	}
 	done := c.fetchData(start, first, false)
+	q, s := c.mem.LastBreakdown()
 	if split {
 		d2 := c.fetchData(start, c.dataMachineLine(ps, off+size-1), true)
+		q2, s2 := c.mem.LastBreakdown()
+		// The dominant access of the pair is the critical path (both
+		// issue at start, so its queue+service spans start..done
+		// exactly); the other access hides under the split component.
+		// A prefetch hit performs no access (done == start) and its
+		// stale breakdown must not be charged.
 		if d2 > done {
-			done = d2
+			if done > start {
+				c.attr.Hidden(obs.CompSplit, q+s)
+			}
+			done, q, s = d2, q2, s2
+		} else if d2 > start {
+			c.attr.Hidden(obs.CompSplit, q2+s2)
 		}
+	}
+	if done > start {
+		c.attr.ExposedDRAM(q, s)
 	}
 	return done
 }
@@ -550,6 +581,7 @@ func (c *Controller) ReadLine(now uint64, lineAddr uint64) memctl.Result {
 	defer c.unpin()
 	c.tnow = now
 	c.stats.DemandReads++
+	c.attr.Begin(now, page, false)
 
 	l, mdDone := c.lookupMetadata(now, page)
 	ps := &c.pages[page]
@@ -564,15 +596,18 @@ func (c *Controller) ReadLine(now uint64, lineAddr uint64) memctl.Result {
 		// metadata alone"); a stale slot is reclaimed at the next
 		// repack.
 		c.stats.ZeroLineOps++
+		c.attr.End(mdDone)
 		return memctl.Result{Done: mdDone}
 	}
 	if !ps.meta.Compressed {
 		done := c.accessSpan(mdDone, ps, line*memctl.LineBytes, memctl.LineBytes, false)
+		c.attr.End(done)
 		return memctl.Result{Done: done}
 	}
 	// Compressed page.
 	if pos, ok := ps.meta.IsInflated(line); ok {
 		done := c.accessSpan(mdDone, ps, c.irOffset(ps, pos), memctl.LineBytes, false)
+		c.attr.End(done)
 		return memctl.Result{Done: done}
 	}
 	slot := int(ps.meta.LineSizeCode[line])
@@ -598,8 +633,13 @@ func (c *Controller) ReadLine(now uint64, lineAddr uint64) memctl.Result {
 		c.stats.OverlapReads++
 		c.stats.OverlapHiddenCycles += hidden
 		c.stats.OverlapExposedCycles += exposed
+		c.attr.Exposed(obs.CompDecompress, exposed)
+		c.attr.Hidden(obs.CompDecompress, hidden)
+		c.attr.End(done + exposed)
 		return memctl.Result{Done: done + exposed}
 	}
+	c.attr.Exposed(obs.CompDecompress, c.cfg.DecompressLatency)
+	c.attr.End(done + c.cfg.DecompressLatency)
 	return memctl.Result{Done: done + c.cfg.DecompressLatency}
 }
 
@@ -614,6 +654,11 @@ func (c *Controller) WriteLine(now uint64, lineAddr uint64, data []byte) memctl.
 	defer c.unpin()
 	c.tnow = now
 	c.stats.DemandWrites++
+	// Writebacks are posted (the demand path never waits on them):
+	// every charge below demotes to hidden and the access balances at
+	// its zero charged latency.
+	c.attr.Begin(now, page, true)
+	c.attr.Posted()
 
 	l, mdDone := c.lookupMetadata(now, page)
 	ps := &c.pages[page]
@@ -634,6 +679,7 @@ func (c *Controller) WriteLine(now uint64, lineAddr uint64, data []byte) memctl.
 	case ps.meta.Zero:
 		if newCode == 0 {
 			c.stats.ZeroLineOps++
+			c.attr.End(now)
 			return memctl.Result{Done: now}
 		}
 		c.zeroToCompressed(mdDone, ps, l, page, line, newCode)
@@ -654,6 +700,7 @@ func (c *Controller) WriteLine(now uint64, lineAddr uint64, data []byte) memctl.
 		c.tr.Emit(now, obs.EvInjectedFault, page, uint64(faults.DataBitFlip))
 		c.corrupt[lineAddr] = struct{}{}
 	}
+	c.attr.End(now)
 	return memctl.Result{Done: now}
 }
 

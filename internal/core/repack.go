@@ -11,8 +11,10 @@ import (
 // the new allocation; uncompressed selects a flat 64 B/line layout.
 // skipRead (a line index, or -1) marks a line whose data arrived with
 // the triggering writeback and needs no read. The movement count is
-// added to *counter, and the DRAM traffic is issued at cycle now.
-func (c *Controller) relocatePage(now uint64, ps *pageState, newChunks int, uncompressed bool, skipRead int, counter *uint64) {
+// added to *counter, the DRAM traffic is issued at cycle now, and the
+// movement's DRAM cycles are charged hidden to comp in the
+// attribution ledger (page moves never stall the demand access).
+func (c *Controller) relocatePage(now uint64, ps *pageState, newChunks int, uncompressed bool, skipRead int, counter *uint64, comp obs.Component) {
 	var moves uint64
 
 	// Read phase: old locations.
@@ -33,6 +35,7 @@ func (c *Controller) relocatePage(now uint64, ps *pageState, newChunks int, unco
 			continue
 		}
 		c.mem.Access(now, c.dataMachineLine(ps, off), false)
+		c.chargeHiddenAccess(comp)
 		moves++
 	}
 
@@ -56,9 +59,17 @@ func (c *Controller) relocatePage(now uint64, ps *pageState, newChunks int, unco
 			off = c.packedOffset(ps, line)
 		}
 		c.mem.Access(now, c.dataMachineLine(ps, off), true)
+		c.chargeHiddenAccess(comp)
 		moves++
 	}
 	*counter += moves
+}
+
+// chargeHiddenAccess records the previous DRAM access's cycles as
+// hidden work under comp.
+func (c *Controller) chargeHiddenAccess(comp obs.Component) {
+	queue, service := c.mem.LastBreakdown()
+	c.attr.Hidden(comp, queue+service)
 }
 
 // pageOverflow (§IV) regrows and repacks a compressed page whose
@@ -74,7 +85,7 @@ func (c *Controller) pageOverflow(now uint64, ps *pageState, l *metadata.Line, p
 	c.global.Record(true)
 	c.global.Record(true)
 	need := c.allowedChunks(ceilDiv(c.freshBytes(ps), metadata.ChunkSize))
-	c.relocatePage(now, ps, need, false, line, &c.stats.OverflowAccesses)
+	c.relocatePage(now, ps, need, false, line, &c.stats.OverflowAccesses, obs.CompOverflow)
 	l.Dirty = true
 }
 
@@ -83,7 +94,7 @@ func (c *Controller) pageOverflow(now uint64, ps *pageState, l *metadata.Line, p
 // writebacks stops paying per-size-step page overflows. The squandered
 // compression is restored later by dynamic repacking.
 func (c *Controller) uncompressPage(now uint64, ps *pageState, l *metadata.Line) {
-	c.relocatePage(now, ps, metadata.MaxChunks, true, -1, &c.stats.OverflowAccesses)
+	c.relocatePage(now, ps, metadata.MaxChunks, true, -1, &c.stats.OverflowAccesses, obs.CompOverflow)
 	c.mdc.Demote(l)
 	l.Dirty = true
 }
@@ -131,7 +142,7 @@ func (c *Controller) maybeRepack(now uint64, page uint64) {
 	}
 	c.stats.Repacks++
 	c.tr.Emit(now, obs.EvRepack, page, uint64(need))
-	c.relocatePage(now, ps, need, false, -1, &c.stats.RepackAccesses)
+	c.relocatePage(now, ps, need, false, -1, &c.stats.RepackAccesses, obs.CompRepack)
 	// A successful repack is the system recovering compressibility:
 	// relax the global overflow predictor.
 	c.global.Record(false)
@@ -144,5 +155,6 @@ func (c *Controller) maybeRepack(now uint64, page uint64) {
 func (c *Controller) finishRepack(now uint64, page uint64) {
 	c.stats.RepackAccesses++
 	c.mem.Access(now, c.mdMachineLine(page), true)
+	c.chargeHiddenAccess(obs.CompRepack)
 	c.storeBacking(page)
 }

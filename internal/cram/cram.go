@@ -99,6 +99,7 @@ type Controller struct {
 
 	stats      memctl.Stats
 	cram       cramStats
+	attr       *obs.Attribution
 	validPages int64
 
 	lineBuf [memctl.LineBytes]byte
@@ -129,6 +130,17 @@ func New(cfg Config, mem *dram.Memory, source memctl.LineSource) *Controller {
 
 // Name implements memctl.Controller.
 func (c *Controller) Name() string { return "cram" }
+
+// SetAttribution installs the cycle-accounting ledger (nil disables).
+func (c *Controller) SetAttribution(a *obs.Attribution) { c.attr = a }
+
+// chargeHiddenWrite records the previous DRAM access as a posted
+// write's own (off-critical-path) queue and service cycles.
+func (c *Controller) chargeHiddenWrite() {
+	queue, service := c.mem.LastBreakdown()
+	c.attr.Hidden(obs.CompDRAMQueue, queue)
+	c.attr.Hidden(obs.CompDRAMService, service)
+}
 
 func (c *Controller) checkAddr(lineAddr uint64) {
 	if lineAddr >= uint64(len(c.sizes)) {
@@ -198,6 +210,7 @@ func (c *Controller) trainPredictor(page uint64, packed bool) {
 func (c *Controller) ReadLine(now uint64, lineAddr uint64) memctl.Result {
 	c.checkAddr(lineAddr)
 	c.stats.DemandReads++
+	c.attr.Begin(now, lineAddr/memctl.LinesPerPage, false)
 
 	pair := lineAddr / 2
 	pairBase := pair * 2
@@ -205,6 +218,7 @@ func (c *Controller) ReadLine(now uint64, lineAddr uint64) memctl.Result {
 		// Partner half of a previously fetched packed burst: no DRAM
 		// access, decompression already done at fill time.
 		c.stats.PrefetchHits++
+		c.attr.End(now)
 		return memctl.Result{Done: now}
 	}
 
@@ -229,12 +243,16 @@ func (c *Controller) ReadLine(now uint64, lineAddr uint64) memctl.Result {
 	start := now
 	if predictedLoc != actualLoc {
 		start = c.mem.Access(now, predictedLoc, false)
+		// The wasted access serializes the retry behind it: its whole
+		// window is exposed mispredict waste, not DRAM queue/service.
+		c.attr.Exposed(obs.CompSpecMiss, start-now)
 		c.stats.SpeculationMiss++
 		c.cram.PredictorMisses++
 	} else {
 		c.cram.PredictorHits++
 	}
 	done := c.mem.Access(start, actualLoc, false)
+	c.attr.ExposedDRAM(c.mem.LastBreakdown())
 	c.stats.DataReads++
 	c.trainPredictor(page, isPacked)
 
@@ -242,9 +260,11 @@ func (c *Controller) ReadLine(now uint64, lineAddr uint64) memctl.Result {
 		c.cram.PackedReads++
 		c.bufferPush(pairBase)
 		done += c.cfg.DecompressLatency
+		c.attr.Exposed(obs.CompDecompress, c.cfg.DecompressLatency)
 	} else {
 		c.cram.UnpackedReads++
 	}
+	c.attr.End(done)
 	return memctl.Result{Done: done}
 }
 
@@ -253,6 +273,9 @@ func (c *Controller) ReadLine(now uint64, lineAddr uint64) memctl.Result {
 func (c *Controller) WriteLine(now uint64, lineAddr uint64, data []byte) memctl.Result {
 	c.checkAddr(lineAddr)
 	c.stats.DemandWrites++
+	// Writes are posted: everything below is off the critical path.
+	c.attr.Begin(now, lineAddr/memctl.LinesPerPage, true)
+	c.attr.Posted()
 
 	pair := lineAddr / 2
 	pairBase := pair * 2
@@ -269,14 +292,18 @@ func (c *Controller) WriteLine(now uint64, lineAddr uint64, data []byte) memctl.
 	case was && can:
 		// In-place packed write: one burst rewrites the shared slot.
 		c.mem.Access(issue, pairBase, true)
+		c.chargeHiddenWrite()
 		c.stats.DataWrites++
 	case was && !can:
 		// Overflow: the pair no longer fits one slot. Write the line to
 		// its own slot and move the partner back out — the CRAM unpack
 		// movement, charged as an overflow extra access.
 		c.mem.Access(issue, lineAddr, true)
+		c.chargeHiddenWrite()
 		c.stats.DataWrites++
 		c.mem.Access(issue, partner, true)
+		queue, service := c.mem.LastBreakdown()
+		c.attr.Hidden(obs.CompOverflow, queue+service)
 		c.stats.OverflowAccesses++
 		c.stats.LineOverflows++
 		c.cram.Unpacks++
@@ -285,17 +312,22 @@ func (c *Controller) WriteLine(now uint64, lineAddr uint64, data []byte) memctl.
 		// Both halves now fit: repack on writeback. The partner must be
 		// fetched to build the packed burst — repack movement.
 		c.mem.Access(issue, partner, false)
+		queue, service := c.mem.LastBreakdown()
+		c.attr.Hidden(obs.CompRepack, queue+service)
 		c.stats.RepackAccesses++
 		c.mem.Access(issue, pairBase, true)
+		c.chargeHiddenWrite()
 		c.stats.DataWrites++
 		c.stats.Repacks++
 		c.cram.Packs++
 		c.packed[pair] = true
 	default:
 		c.mem.Access(issue, lineAddr, true)
+		c.chargeHiddenWrite()
 		c.stats.DataWrites++
 	}
 	c.trainPredictor(page, c.packed[pair])
+	c.attr.End(now)
 	return memctl.Result{Done: now}
 }
 

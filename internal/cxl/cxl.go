@@ -106,6 +106,7 @@ type Controller struct {
 
 	stats      memctl.Stats
 	link       linkStats
+	attr       *obs.Attribution
 	validPages int64
 
 	lineBuf [memctl.LineBytes]byte
@@ -139,6 +140,12 @@ func New(cfg Config, mem *dram.Memory, source memctl.LineSource) *Controller {
 
 // Name implements memctl.Controller.
 func (c *Controller) Name() string { return "cxl" }
+
+// SetAttribution installs the cycle-accounting ledger (nil disables).
+// Link-latency propagation is attributed to the header component on
+// the request direction and to the payload component on the response
+// direction, so the two per-direction traversals stay distinguishable.
+func (c *Controller) SetAttribution(a *obs.Attribution) { c.attr = a }
 
 // FarStats returns the expander DRAM's accumulated counters.
 func (c *Controller) FarStats() dram.Stats { return c.far.Stats() }
@@ -184,19 +191,22 @@ func (c *Controller) payloadFlits(size uint8) uint64 {
 
 // sendFlits serializes flits onto one link direction starting no
 // earlier than ready, advancing the direction's cursor and the shared
-// accounting. It returns the cycle the last flit clears the link.
-func (c *Controller) sendFlits(ready uint64, cursor *uint64, flits uint64) uint64 {
+// accounting. It returns the cycle the last flit clears the link plus
+// the queue-wait and occupancy cycles (done-ready == queued+occupied),
+// which the attribution call sites split into link components.
+func (c *Controller) sendFlits(ready uint64, cursor *uint64, flits uint64) (done, queued, occupied uint64) {
 	start := ready
 	if *cursor > start {
 		start = *cursor
-		c.link.QueueCycles += start - ready
+		queued = start - ready
+		c.link.QueueCycles += queued
 	}
-	occupied := flits * c.cfg.LinkCyclesPerFlit
-	done := start + occupied
+	occupied = flits * c.cfg.LinkCyclesPerFlit
+	done = start + occupied
 	*cursor = done
 	c.link.BusyCycles += occupied
 	c.link.FlitsSent += flits
-	return done
+	return done, queued, occupied
 }
 
 // ReadLine implements memctl.Controller.
@@ -204,23 +214,35 @@ func (c *Controller) ReadLine(now uint64, lineAddr uint64) memctl.Result {
 	c.checkAddr(lineAddr)
 	c.stats.DemandReads++
 	page := lineAddr / memctl.LinesPerPage
+	c.attr.Begin(now, page, false)
 	if !c.isFar(page) {
 		c.stats.DataReads++
-		return memctl.Result{Done: c.near.Access(now, lineAddr, false)}
+		done := c.near.Access(now, lineAddr, false)
+		c.attr.ExposedDRAM(c.near.LastBreakdown())
+		c.attr.End(done)
+		return memctl.Result{Done: done}
 	}
 
 	// Request header crosses the link, the expander's DRAM serves the
 	// line, and the (compressed) payload serializes back.
 	c.link.Reads++
-	reqDone := c.sendFlits(now, &c.reqFree, 1)
+	reqDone, reqQueued, reqOcc := c.sendFlits(now, &c.reqFree, 1)
+	c.attr.Exposed(obs.CompLinkQueue, reqQueued)
+	c.attr.Exposed(obs.CompLinkHeader, reqOcc+c.cfg.LinkLatency)
 	farDone := c.far.Access(reqDone+c.cfg.LinkLatency, lineAddr, false)
+	c.attr.ExposedDRAM(c.far.LastBreakdown())
 	c.stats.DataReads++
 	size := c.sizes[lineAddr]
-	respDone := c.sendFlits(farDone+c.cfg.LinkLatency, &c.respFree, 1+c.payloadFlits(size))
+	respDone, respQueued, respOcc := c.sendFlits(farDone+c.cfg.LinkLatency, &c.respFree, 1+c.payloadFlits(size))
+	c.attr.Exposed(obs.CompLinkQueue, respQueued)
+	c.attr.Exposed(obs.CompLinkHeader, c.cfg.LinkCyclesPerFlit)
+	c.attr.Exposed(obs.CompLinkPayload, c.cfg.LinkLatency+respOcc-c.cfg.LinkCyclesPerFlit)
 	done := respDone
 	if c.cfg.Codec != nil && size < memctl.LineBytes {
 		done += c.cfg.DecompressLatency
+		c.attr.Exposed(obs.CompDecompress, c.cfg.DecompressLatency)
 	}
+	c.attr.End(done)
 	return memctl.Result{Done: done}
 }
 
@@ -230,18 +252,32 @@ func (c *Controller) WriteLine(now uint64, lineAddr uint64, data []byte) memctl.
 	c.checkAddr(lineAddr)
 	c.stats.DemandWrites++
 	page := lineAddr / memctl.LinesPerPage
+	// Writes are posted: everything below is off the critical path.
+	c.attr.Begin(now, page, true)
+	c.attr.Posted()
 	if !c.isFar(page) {
 		c.stats.DataWrites++
 		c.near.Access(now, lineAddr, true)
+		queue, service := c.near.LastBreakdown()
+		c.attr.Hidden(obs.CompDRAMQueue, queue)
+		c.attr.Hidden(obs.CompDRAMService, service)
+		c.attr.End(now)
 		return memctl.Result{Done: now}
 	}
 
 	c.link.Writes++
 	size := c.sizeOf(data)
 	c.sizes[lineAddr] = size
-	reqDone := c.sendFlits(now+c.cfg.CompressLatency, &c.reqFree, 1+c.payloadFlits(size))
+	reqDone, queued, occupied := c.sendFlits(now+c.cfg.CompressLatency, &c.reqFree, 1+c.payloadFlits(size))
+	c.attr.Hidden(obs.CompLinkQueue, queued)
+	c.attr.Hidden(obs.CompLinkHeader, c.cfg.LinkCyclesPerFlit+c.cfg.LinkLatency)
+	c.attr.Hidden(obs.CompLinkPayload, occupied-c.cfg.LinkCyclesPerFlit)
 	c.far.Access(reqDone+c.cfg.LinkLatency, lineAddr, true)
+	queue, service := c.far.LastBreakdown()
+	c.attr.Hidden(obs.CompDRAMQueue, queue)
+	c.attr.Hidden(obs.CompDRAMService, service)
 	c.stats.DataWrites++
+	c.attr.End(now)
 	return memctl.Result{Done: now}
 }
 

@@ -17,18 +17,36 @@ const lzLatency = 64
 
 func (c *Controller) lookupMetadata(now uint64, page uint64) (*metadata.Line, uint64) {
 	if l, ok := c.mdc.Lookup(page); ok {
+		c.attr.Exposed(obs.CompMDCacheHit, c.cfg.MetadataHitLatency)
 		return l, now + c.cfg.MetadataHitLatency
 	}
 	c.stats.MetadataReads++
 	done := c.mem.Access(now, c.mdMachineLine(page), false)
+	c.attr.Exposed(obs.CompMDFetch, done-now)
 	l, evicted := c.mdc.Insert(page, false)
 	for _, ev := range evicted {
 		if ev.Dirty {
 			c.stats.MetadataWrites++
 			c.mem.Access(now, c.mdMachineLine(ev.Page), true)
+			c.chargeHiddenAccess(obs.CompMDFetch)
 		}
 	}
 	return l, done
+}
+
+// chargeHiddenAccess records the previous DRAM access's cycles as
+// hidden work under comp.
+func (c *Controller) chargeHiddenAccess(comp obs.Component) {
+	queue, service := c.mem.LastBreakdown()
+	c.attr.Hidden(comp, queue+service)
+}
+
+// chargeHiddenWrite records the previous DRAM access as the posted
+// demand write's own (off-critical-path) queue and service cycles.
+func (c *Controller) chargeHiddenWrite() {
+	queue, service := c.mem.LastBreakdown()
+	c.attr.Hidden(obs.CompDRAMQueue, queue)
+	c.attr.Hidden(obs.CompDRAMService, service)
 }
 
 // --- temperature tracking -----------------------------------------------
@@ -77,6 +95,7 @@ func (c *Controller) convert(now uint64, page uint64, p *dmcPage, toCold bool) {
 	}
 	for off := 0; off < oldBytes; off += memctl.LineBytes {
 		c.mem.Access(now, c.dataMachineLine(p, off), false)
+		c.chargeHiddenAccess(obs.CompOverflow)
 		moves++
 	}
 	if toCold {
@@ -98,6 +117,7 @@ func (c *Controller) convert(now uint64, page uint64, p *dmcPage, toCold bool) {
 	}
 	for off := 0; off < newBytes; off += memctl.LineBytes {
 		c.mem.Access(now, c.dataMachineLine(p, off), true)
+		c.chargeHiddenAccess(obs.CompOverflow)
 		moves++
 	}
 	c.stats.OverflowAccesses += moves
@@ -164,6 +184,7 @@ func (c *Controller) ReadLine(now uint64, lineAddr uint64) memctl.Result {
 	c.pinned, c.hasPinned = page, true
 	defer func() { c.hasPinned = false }()
 	c.stats.DemandReads++
+	c.attr.Begin(now, page, false)
 	c.touchRegion(now, page)
 
 	l, mdDone := c.lookupMetadata(now, page)
@@ -176,6 +197,7 @@ func (c *Controller) ReadLine(now uint64, lineAddr uint64) memctl.Result {
 	}
 	if p.zero || p.actual[line] == 0 {
 		c.stats.ZeroLineOps++
+		c.attr.End(mdDone)
 		return memctl.Result{Done: mdDone}
 	}
 	if p.cold {
@@ -186,19 +208,30 @@ func (c *Controller) ReadLine(now uint64, lineAddr uint64) memctl.Result {
 		n := p.blockBytes[b] / memctl.LineBytes
 		if n == 0 {
 			c.stats.ZeroLineOps++
+			c.attr.End(mdDone)
 			return memctl.Result{Done: mdDone}
 		}
+		// All block accesses issue at mdDone; the slowest one is the
+		// exposed DRAM segment, the rest are hidden coarse-block cost.
+		var domQ, domS uint64
 		for i := 0; i < n; i++ {
 			d := c.mem.Access(mdDone, c.dataMachineLine(p, off+i*memctl.LineBytes), false)
+			queue, service := c.mem.LastBreakdown()
 			if i == 0 {
 				c.stats.DataReads++
 			} else {
 				c.stats.SplitAccesses++ // extra accesses of the coarse block
 			}
 			if d > done {
-				done = d
+				c.attr.Hidden(obs.CompSplit, domQ+domS)
+				done, domQ, domS = d, queue, service
+			} else {
+				c.attr.Hidden(obs.CompSplit, queue+service)
 			}
 		}
+		c.attr.ExposedDRAM(domQ, domS)
+		c.attr.Exposed(obs.CompDecompress, lzLatency)
+		c.attr.End(done + lzLatency)
 		return memctl.Result{Done: done + lzLatency}
 	}
 	// Hot page: LCP-style.
@@ -208,19 +241,29 @@ func (c *Controller) ReadLine(now uint64, lineAddr uint64) memctl.Result {
 			off := metadata.LinesPerPage*tb + slot*memctl.LineBytes
 			done := c.mem.Access(mdDone, c.dataMachineLine(p, off), false)
 			c.stats.DataReads++
+			c.attr.ExposedDRAM(c.mem.LastBreakdown())
+			c.attr.End(done)
 			return memctl.Result{Done: done}
 		}
 	}
 	off := line * tb
 	done := c.mem.Access(mdDone, c.dataMachineLine(p, off), false)
+	queue, service := c.mem.LastBreakdown()
 	c.stats.DataReads++
 	if compress.SplitAccess(off, tb) {
 		d2 := c.mem.Access(mdDone, c.dataMachineLine(p, off+tb-1), false)
+		q2, s2 := c.mem.LastBreakdown()
 		c.stats.SplitAccesses++
 		if d2 > done {
-			done = d2
+			c.attr.Hidden(obs.CompSplit, queue+service)
+			done, queue, service = d2, q2, s2
+		} else {
+			c.attr.Hidden(obs.CompSplit, q2+s2)
 		}
 	}
+	c.attr.ExposedDRAM(queue, service)
+	c.attr.Exposed(obs.CompDecompress, c.cfg.DecompressLatency)
+	c.attr.End(done + c.cfg.DecompressLatency)
 	return memctl.Result{Done: done + c.cfg.DecompressLatency}
 }
 
@@ -234,6 +277,9 @@ func (c *Controller) WriteLine(now uint64, lineAddr uint64, data []byte) memctl.
 	c.pinned, c.hasPinned = page, true
 	defer func() { c.hasPinned = false }()
 	c.stats.DemandWrites++
+	// Writes are posted: Exposed charges below demote to hidden.
+	c.attr.Begin(now, page, true)
+	c.attr.Posted()
 	c.touchRegion(now, page)
 
 	l, mdDone := c.lookupMetadata(now, page)
@@ -248,6 +294,7 @@ func (c *Controller) WriteLine(now uint64, lineAddr uint64, data []byte) memctl.
 	if p.zero {
 		if newCode == 0 {
 			c.stats.ZeroLineOps++
+			c.attr.End(now)
 			return memctl.Result{Done: now}
 		}
 		// Materialize hot with the written line's size as target.
@@ -260,8 +307,10 @@ func (c *Controller) WriteLine(now uint64, lineAddr uint64, data []byte) memctl.
 		p.chunks = sizeChunks(c.hotPageBytes(p))
 		p.base = c.allocBlock(p.chunks)
 		c.mem.Access(mdDone, c.dataMachineLine(p, line*c.targetBytes(p)), true)
+		c.chargeHiddenWrite()
 		c.stats.DataWrites++
 		l.Dirty = true
+		c.attr.End(now)
 		return memctl.Result{Done: now}
 	}
 	old := p.actual[line]
@@ -280,6 +329,7 @@ func (c *Controller) WriteLine(now uint64, lineAddr uint64, data []byte) memctl.
 		reads := oldBytes / memctl.LineBytes
 		for i := 0; i < reads; i++ {
 			c.mem.Access(now, c.dataMachineLine(p, c.blockOffset(p, b)+i*memctl.LineBytes), false)
+			c.chargeHiddenAccess(obs.CompOverflow)
 			moves++
 		}
 		if p.blockBytes[b] > oldBytes {
@@ -293,6 +343,11 @@ func (c *Controller) WriteLine(now uint64, lineAddr uint64, data []byte) memctl.
 			}
 			for i := 0; i < writes; i++ {
 				c.mem.Access(now, c.dataMachineLine(p, c.blockOffset(p, b)+i*memctl.LineBytes), true)
+				if i == 0 {
+					c.chargeHiddenWrite() // the demand data write
+				} else {
+					c.chargeHiddenAccess(obs.CompOverflow)
+				}
 			}
 			if writes > 0 {
 				c.stats.DataWrites++
@@ -301,6 +356,7 @@ func (c *Controller) WriteLine(now uint64, lineAddr uint64, data []byte) memctl.
 		}
 		c.stats.OverflowAccesses += moves
 		l.Dirty = true
+		c.attr.End(now)
 		return memctl.Result{Done: now}
 	}
 
@@ -310,8 +366,10 @@ func (c *Controller) WriteLine(now uint64, lineAddr uint64, data []byte) memctl.
 		if ln == line {
 			off := metadata.LinesPerPage*tb + slot*memctl.LineBytes
 			c.mem.Access(mdDone, c.dataMachineLine(p, off), true)
+			c.chargeHiddenWrite()
 			c.stats.DataWrites++
 			l.Dirty = true
+			c.attr.End(now)
 			return memctl.Result{Done: now}
 		}
 	}
@@ -321,13 +379,16 @@ func (c *Controller) WriteLine(now uint64, lineAddr uint64, data []byte) memctl.
 		} else {
 			off := line * tb
 			c.mem.Access(mdDone, c.dataMachineLine(p, off), true)
+			c.chargeHiddenWrite()
 			c.stats.DataWrites++
 			if compress.SplitAccess(off, c.cfg.Bins.SizeOf(int(newCode))) {
 				c.mem.Access(mdDone, c.dataMachineLine(p, off+tb-1), true)
+				c.chargeHiddenAccess(obs.CompSplit)
 				c.stats.SplitAccesses++
 			}
 		}
 		l.Dirty = true
+		c.attr.End(now)
 		return memctl.Result{Done: now}
 	}
 	// Overflow into the exception region or page rewrite.
@@ -339,14 +400,17 @@ func (c *Controller) WriteLine(now uint64, lineAddr uint64, data []byte) memctl.
 		c.tr.Emit(now, obs.EvIRPlacement, page, uint64(line))
 		off := metadata.LinesPerPage*tb + (len(p.exc)-1)*memctl.LineBytes
 		c.mem.Access(mdDone, c.dataMachineLine(p, off), true)
+		c.chargeHiddenWrite()
 		c.stats.DataWrites++
 		l.Dirty = true
+		c.attr.End(now)
 		return memctl.Result{Done: now}
 	}
 	c.stats.PageOverflows++
 	c.tr.Emit(now, obs.EvPageOverflow, page, uint64(line))
 	c.rewriteHotPage(now, page, p)
 	l.Dirty = true
+	c.attr.End(now)
 	return memctl.Result{Done: now}
 }
 
@@ -373,6 +437,7 @@ func (c *Controller) rewriteColdPage(now uint64, p *dmcPage, moves *uint64) {
 	}
 	for off := 0; off < newBytes; off += memctl.LineBytes {
 		c.mem.Access(now, c.dataMachineLine(p, off), true)
+		c.chargeHiddenAccess(obs.CompOverflow)
 		*moves++
 	}
 }
@@ -384,6 +449,7 @@ func (c *Controller) rewriteHotPage(now uint64, page uint64, p *dmcPage) {
 	oldBytes := c.hotPageBytes(p)
 	for off := 0; off < oldBytes; off += memctl.LineBytes {
 		c.mem.Access(now, c.dataMachineLine(p, off), false)
+		c.chargeHiddenAccess(obs.CompOverflow)
 		moves++
 	}
 	c.priceHot(page, p)
@@ -397,6 +463,7 @@ func (c *Controller) rewriteHotPage(now uint64, page uint64, p *dmcPage) {
 	newBytes := c.hotPageBytes(p)
 	for off := 0; off < newBytes; off += memctl.LineBytes {
 		c.mem.Access(now, c.dataMachineLine(p, off), true)
+		c.chargeHiddenAccess(obs.CompOverflow)
 		moves++
 	}
 	c.stats.OverflowAccesses += moves

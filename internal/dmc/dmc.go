@@ -132,6 +132,8 @@ type Controller struct {
 	// sites all run inside the demand access, so events carry the
 	// access cycle directly.
 	tr *obs.Tracer
+	// attr is the cycle-accounting attribution ledger (nil disables).
+	attr *obs.Attribution
 }
 
 var _ memctl.Controller = (*Controller)(nil)
@@ -185,6 +187,9 @@ func (c *Controller) ResetStats() {
 
 // SetTracer installs the controller-event tracer (nil disables).
 func (c *Controller) SetTracer(t *obs.Tracer) { c.tr = t }
+
+// SetAttribution installs the cycle-accounting ledger (nil disables).
+func (c *Controller) SetAttribution(a *obs.Attribution) { c.attr = a }
 
 // MetadataCacheStats returns the metadata cache counters.
 func (c *Controller) MetadataCacheStats() metadata.CacheStats { return c.mdc.Stats() }

@@ -113,6 +113,10 @@ type Memory struct {
 	// onAccess, when set, observes every access (the fault-injection
 	// exposure hook); it must not mutate memory state.
 	onAccess func(lineAddr uint64, write bool)
+
+	// lastQueue/lastService hold the previous Access call's latency
+	// breakdown for the attribution ledger (LastBreakdown).
+	lastQueue, lastService uint64
 }
 
 // New constructs a memory subsystem from cfg.
@@ -245,6 +249,8 @@ func (m *Memory) Access(now uint64, lineAddr uint64, write bool) uint64 {
 	cs.busFree = done
 	cs.stats.BusyCycles += m.burst
 	cs.stats.QueueCycles += (dataAt - cmdLat) - now
+	m.lastQueue = (dataAt - cmdLat) - now
+	m.lastService = cmdLat + m.burst
 
 	if write {
 		cs.stats.Writes++
@@ -252,6 +258,16 @@ func (m *Memory) Access(now uint64, lineAddr uint64, write bool) uint64 {
 		cs.stats.Reads++
 	}
 	return done
+}
+
+// LastBreakdown returns the previous Access call's latency split into
+// its queue share (waiting for bank and bus) and service share
+// (command latency plus burst). The parts sum exactly to that
+// access's done-now, which is what lets attribution charge a demand
+// access as dram_queue + dram_service and still satisfy the
+// conservation invariant (DESIGN.md §14).
+func (m *Memory) LastBreakdown() (queue, service uint64) {
+	return m.lastQueue, m.lastService
 }
 
 // ReadLatency returns the unloaded row-hit read latency in core cycles,

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"compresso/internal/sim"
 	"compresso/internal/stats"
 )
 
@@ -13,7 +14,8 @@ func quickOpts() Options {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"ab-align", "ab-bins", "backends-ratio", "backends-traffic",
+	want := []string{"ab-align", "ab-bins", "attribution",
+		"backends-ratio", "backends-traffic",
 		"bpc-variants", "fig10a", "fig10b",
 		"fig11a", "fig11b", "fig12", "fig2", "fig4", "fig6", "fig7", "fig9",
 		"overlap", "related-dmc", "tab1", "tab2", "tab5"}
@@ -27,6 +29,48 @@ func TestRegistryComplete(t *testing.T) {
 		}
 		if e.Desc == "" {
 			t.Fatalf("%s has no description", e.Name)
+		}
+	}
+}
+
+// TestAttributionExperimentShape pins the attribution experiment's
+// data contract: one row per registered backend in registry order,
+// every ledger conserving exactly, and the baseline paying zero
+// compression overhead.
+func TestAttributionExperimentShape(t *testing.T) {
+	rows, err := AttributionData(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	systems := sim.AllSystems()
+	if len(rows) != len(systems) {
+		t.Fatalf("%d rows for %d registered backends", len(rows), len(systems))
+	}
+	for i, r := range rows {
+		if r.System != systems[i].String() {
+			t.Fatalf("row %d is %q, want %q", i, r.System, systems[i])
+		}
+		if r.Accesses == 0 || r.ChargedCycles == 0 {
+			t.Fatalf("%s: empty ledger: %+v", r.System, r)
+		}
+		if r.Attribution.Violations != 0 {
+			t.Fatalf("%s: %d conservation violations", r.System, r.Attribution.Violations)
+		}
+		var exposed uint64
+		for _, c := range r.Attribution.Components {
+			exposed += c.ExposedCycles
+		}
+		if exposed != r.ChargedCycles {
+			t.Fatalf("%s: exposed %d != charged %d", r.System, exposed, r.ChargedCycles)
+		}
+		if len(r.Attribution.HotPages) == 0 {
+			t.Fatalf("%s: hot-page profile empty", r.System)
+		}
+		if r.System == "uncompressed" && r.OverheadFrac != 0 {
+			t.Fatalf("uncompressed pays overhead: %v", r.OverheadFrac)
+		}
+		if r.System != "uncompressed" && r.OverheadFrac <= 0 {
+			t.Fatalf("%s: no compression overhead attributed", r.System)
 		}
 	}
 }

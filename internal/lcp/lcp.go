@@ -132,6 +132,8 @@ type Controller struct {
 	// event site runs inside the demand access, so events carry the
 	// access cycle directly.
 	tr *obs.Tracer
+	// attr is the cycle-accounting attribution ledger (nil disables).
+	attr *obs.Attribution
 }
 
 var _ memctl.Controller = (*Controller)(nil)
@@ -178,6 +180,12 @@ func (c *Controller) ResetStats() {
 
 // SetTracer installs the controller-event tracer (nil disables).
 func (c *Controller) SetTracer(t *obs.Tracer) { c.tr = t }
+
+// SetAttribution installs the cycle-accounting ledger (nil disables).
+// LCP charges the metadata segment at the demand call sites rather
+// than inside lookupMetadata: under speculation the metadata fetch
+// may end up off the critical path, and only the caller knows.
+func (c *Controller) SetAttribution(a *obs.Attribution) { c.attr = a }
 
 // MetadataCacheStats returns the metadata cache's counters.
 func (c *Controller) MetadataCacheStats() metadata.CacheStats { return c.mdc.Stats() }
@@ -317,6 +325,8 @@ func (c *Controller) lookupMetadata(now uint64, page uint64) (*metadata.Line, ui
 		if ev.Dirty {
 			c.stats.MetadataWrites++
 			c.mem.Access(now, c.mdMachineLine(ev.Page), true)
+			queue, service := c.mem.LastBreakdown()
+			c.attr.Hidden(obs.CompMDFetch, queue+service)
 		}
 		// No repacking in LCP (§IV-B4 is novel to Compresso).
 	}
@@ -354,21 +364,43 @@ func (c *Controller) writeSpan(now uint64, p *lcpPage, off, size int) {
 		return
 	}
 	c.mem.Access(now, c.dataMachineLine(p, off), true)
+	queue, service := c.mem.LastBreakdown()
+	c.attr.Hidden(obs.CompDRAMQueue, queue)
+	c.attr.Hidden(obs.CompDRAMService, service)
 	c.stats.DataWrites++
 	if compress.SplitAccess(off, size) {
 		c.mem.Access(now, c.dataMachineLine(p, off+size-1), true)
 		c.stats.SplitAccesses++
+		queue, service = c.mem.LastBreakdown()
+		c.attr.Hidden(obs.CompSplit, queue+service)
 	}
 }
 
-func (c *Controller) readSpan(start uint64, p *lcpPage, off, size int) uint64 {
-	done := c.fetchData(start, c.dataMachineLine(p, off), false)
+// readSpan reads [off, off+size) and additionally returns the
+// dominant access's DRAM breakdown (zero on a prefetch hit, whose
+// stale breakdown must not be charged); the non-dominant half of a
+// split pair is charged hidden here. The caller decides whether the
+// dominant breakdown is exposed (demand segment) or hidden (the
+// speculative read that lost to the metadata fetch).
+func (c *Controller) readSpan(start uint64, p *lcpPage, off, size int) (done, queue, service uint64) {
+	done = c.fetchData(start, c.dataMachineLine(p, off), false)
+	if done > start {
+		queue, service = c.mem.LastBreakdown()
+	}
 	if compress.SplitAccess(off, size) {
-		if d2 := c.fetchData(start, c.dataMachineLine(p, off+size-1), true); d2 > done {
-			done = d2
+		d2 := c.fetchData(start, c.dataMachineLine(p, off+size-1), true)
+		var q2, s2 uint64
+		if d2 > start {
+			q2, s2 = c.mem.LastBreakdown()
+		}
+		if d2 > done {
+			c.attr.Hidden(obs.CompSplit, queue+service)
+			done, queue, service = d2, q2, s2
+		} else {
+			c.attr.Hidden(obs.CompSplit, q2+s2)
 		}
 	}
-	return done
+	return done, queue, service
 }
 
 // --- demand path -------------------------------------------------------------
@@ -380,8 +412,13 @@ func (c *Controller) ReadLine(now uint64, lineAddr uint64) memctl.Result {
 	c.pinned, c.hasPinned = page, true
 	defer func() { c.hasPinned = false }()
 	c.stats.DemandReads++
+	c.attr.Begin(now, page, false)
 
 	l, mdDone, miss := c.lookupMetadata(now, page)
+	mdComp := obs.CompMDCacheHit
+	if miss {
+		mdComp = obs.CompMDFetch
+	}
 	p := &c.pages[page]
 	if !p.valid {
 		p.valid = true
@@ -391,6 +428,8 @@ func (c *Controller) ReadLine(now uint64, lineAddr uint64) memctl.Result {
 	}
 	if p.zero || p.actual[line] == 0 {
 		c.stats.ZeroLineOps++
+		c.attr.Exposed(mdComp, mdDone-now)
+		c.attr.End(mdDone)
 		return memctl.Result{Done: mdDone}
 	}
 
@@ -402,20 +441,35 @@ func (c *Controller) ReadLine(now uint64, lineAddr uint64) memctl.Result {
 	slot, isExc := p.excSlot(line)
 	tb := c.targetBytes(p)
 	if miss && c.cfg.Speculate && tb > 0 {
-		specDone := c.readSpan(now, p, c.lineOffset(p, line), tb)
+		specDone, q, srv := c.readSpan(now, p, c.lineOffset(p, line), tb)
 		if !isExc {
 			done := specDone
 			if mdDone > done {
+				// The metadata fetch dominates: the correct speculative
+				// read completed entirely under it.
 				done = mdDone
+				c.attr.Exposed(obs.CompMDFetch, mdDone-now)
+				c.attr.Hidden(obs.CompDRAMQueue, q)
+				c.attr.Hidden(obs.CompDRAMService, srv)
+			} else {
+				// The data read dominates: the metadata fetch is hidden.
+				c.attr.Hidden(obs.CompMDFetch, mdDone-now)
+				c.attr.ExposedDRAM(q, srv)
 			}
+			c.attr.Exposed(obs.CompDecompress, c.cfg.DecompressLatency)
+			c.attr.End(done + c.cfg.DecompressLatency)
 			return memctl.Result{Done: done + c.cfg.DecompressLatency}
 		}
 		// Wasted speculation; re-account the access as pure overhead.
 		c.stats.SpeculationMiss++
 		c.stats.DataReads--
+		c.attr.Hidden(obs.CompSpecMiss, q+srv)
 	}
 	if isExc {
-		done := c.readSpan(mdDone, p, c.excOffset(p, slot), memctl.LineBytes)
+		c.attr.Exposed(mdComp, mdDone-now)
+		done, q, srv := c.readSpan(mdDone, p, c.excOffset(p, slot), memctl.LineBytes)
+		c.attr.ExposedDRAM(q, srv)
+		c.attr.End(done)
 		return memctl.Result{Done: done}
 	}
 	if tb == 0 {
@@ -423,7 +477,11 @@ func (c *Controller) ReadLine(now uint64, lineAddr uint64) memctl.Result {
 		// hold only zero lines or exceptions.
 		panic("lcp: non-exception line in a zero-target page")
 	}
-	done := c.readSpan(mdDone, p, c.lineOffset(p, line), tb)
+	c.attr.Exposed(mdComp, mdDone-now)
+	done, q, srv := c.readSpan(mdDone, p, c.lineOffset(p, line), tb)
+	c.attr.ExposedDRAM(q, srv)
+	c.attr.Exposed(obs.CompDecompress, c.cfg.DecompressLatency)
+	c.attr.End(done + c.cfg.DecompressLatency)
 	return memctl.Result{Done: done + c.cfg.DecompressLatency}
 }
 
@@ -437,8 +495,17 @@ func (c *Controller) WriteLine(now uint64, lineAddr uint64, data []byte) memctl.
 	c.pinned, c.hasPinned = page, true
 	defer func() { c.hasPinned = false }()
 	c.stats.DemandWrites++
+	// Writes are posted: every Exposed charge below demotes to hidden;
+	// only the page-fault penalty stays critical (ExposedCritical).
+	c.attr.Begin(now, page, true)
+	c.attr.Posted()
 
-	l, mdDone, _ := c.lookupMetadata(now, page)
+	l, mdDone, miss := c.lookupMetadata(now, page)
+	mdComp := obs.CompMDCacheHit
+	if miss {
+		mdComp = obs.CompMDFetch
+	}
+	c.attr.Exposed(mdComp, mdDone-now)
 	p := &c.pages[page]
 	if !p.valid {
 		p.valid = true
@@ -451,6 +518,7 @@ func (c *Controller) WriteLine(now uint64, lineAddr uint64, data []byte) memctl.
 	if p.zero {
 		if newCode == 0 {
 			c.stats.ZeroLineOps++
+			c.attr.End(now)
 			return memctl.Result{Done: now}
 		}
 		// Zero page materializes with the written line's size as its
@@ -464,6 +532,7 @@ func (c *Controller) WriteLine(now uint64, lineAddr uint64, data []byte) memctl.
 		p.base = c.allocBlock(p.chunks)
 		c.writeSpan(mdDone, p, c.lineOffset(p, line), c.targetBytes(p))
 		l.Dirty = true
+		c.attr.End(now)
 		return memctl.Result{Done: now}
 	}
 
@@ -479,16 +548,19 @@ func (c *Controller) WriteLine(now uint64, lineAddr uint64, data []byte) memctl.
 		// does not repatriate lines that shrink (no repacking).
 		c.writeSpan(mdDone, p, c.excOffset(p, slot), memctl.LineBytes)
 		l.Dirty = true
+		c.attr.End(now)
 		return memctl.Result{Done: now}
 	}
 	if newCode <= p.target {
 		if newCode == 0 {
 			c.stats.ZeroLineOps++
 			l.Dirty = true
+			c.attr.End(now)
 			return memctl.Result{Done: now}
 		}
 		c.writeSpan(mdDone, p, c.lineOffset(p, line), c.cfg.Bins.SizeOf(int(newCode)))
 		l.Dirty = true
+		c.attr.End(now)
 		return memctl.Result{Done: now}
 	}
 
@@ -501,6 +573,7 @@ func (c *Controller) WriteLine(now uint64, lineAddr uint64, data []byte) memctl.
 		c.tr.Emit(now, obs.EvIRPlacement, page, uint64(line))
 		c.writeSpan(mdDone, p, c.excOffset(p, len(p.exc)-1), memctl.LineBytes)
 		l.Dirty = true
+		c.attr.End(now)
 		return memctl.Result{Done: now}
 	}
 
@@ -508,6 +581,7 @@ func (c *Controller) WriteLine(now uint64, lineAddr uint64, data []byte) memctl.
 	// a bigger (possibly retargeted) page and copies the data.
 	done := c.pageFaultOverflow(now, p, page, line)
 	l.Dirty = true
+	c.attr.End(done)
 	return memctl.Result{Done: done}
 }
 
@@ -532,6 +606,8 @@ func (c *Controller) pageFaultOverflow(now uint64, p *lcpPage, page uint64, line
 			off = c.lineOffset(p, ln)
 		}
 		c.mem.Access(now, c.dataMachineLine(p, off), false)
+		queue, service := c.mem.LastBreakdown()
+		c.attr.Hidden(obs.CompOverflow, queue+service)
 		moves++
 	}
 
@@ -557,9 +633,14 @@ func (c *Controller) pageFaultOverflow(now uint64, p *lcpPage, page uint64, line
 			off = c.lineOffset(p, ln)
 		}
 		c.mem.Access(now, c.dataMachineLine(p, off), true)
+		queue, service := c.mem.LastBreakdown()
+		c.attr.Hidden(obs.CompOverflow, queue+service)
 		moves++
 	}
 	c.stats.OverflowAccesses += moves
+	// The OS fault penalty is the one write-path latency LCP exposes;
+	// it must survive the posted-write demotion.
+	c.attr.ExposedCritical(obs.CompOverflow, c.cfg.PageFaultPenalty)
 	return now + c.cfg.PageFaultPenalty
 }
 

@@ -220,6 +220,7 @@ func CompressionRatio(c Controller) float64 {
 type Uncompressed struct {
 	mem       *dram.Memory
 	stats     Stats
+	attr      *obs.Attribution
 	installed int64
 }
 
@@ -231,18 +232,30 @@ func NewUncompressed(mem *dram.Memory) *Uncompressed {
 // Name implements Controller.
 func (u *Uncompressed) Name() string { return "uncompressed" }
 
+// SetAttribution installs the cycle-accounting ledger (nil disables).
+func (u *Uncompressed) SetAttribution(a *obs.Attribution) { u.attr = a }
+
 // ReadLine implements Controller.
 func (u *Uncompressed) ReadLine(now uint64, lineAddr uint64) Result {
 	u.stats.DemandReads++
 	u.stats.DataReads++
-	return Result{Done: u.mem.Access(now, lineAddr, false)}
+	u.attr.Begin(now, lineAddr/(PageSize/LineBytes), false)
+	done := u.mem.Access(now, lineAddr, false)
+	u.attr.ExposedDRAM(u.mem.LastBreakdown())
+	u.attr.End(done)
+	return Result{Done: done}
 }
 
 // WriteLine implements Controller.
 func (u *Uncompressed) WriteLine(now uint64, lineAddr uint64, data []byte) Result {
 	u.stats.DemandWrites++
 	u.stats.DataWrites++
+	u.attr.Begin(now, lineAddr/(PageSize/LineBytes), true)
 	u.mem.Access(now, lineAddr, true)
+	queue, service := u.mem.LastBreakdown()
+	u.attr.Hidden(obs.CompDRAMQueue, queue)
+	u.attr.Hidden(obs.CompDRAMService, service)
+	u.attr.End(now)
 	return Result{Done: now}
 }
 

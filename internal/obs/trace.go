@@ -64,13 +64,25 @@ func (k *EventKind) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &s); err != nil {
 		return err
 	}
+	kind, ok := EventKindByName(s)
+	if !ok {
+		return fmt.Errorf("obs: unknown event kind %q", s)
+	}
+	*k = kind
+	return nil
+}
+
+// EventKindByName resolves a kind's stable name (the JSON encoding);
+// ok is false for unknown names. Query filters (/events?kind=) use it
+// to validate user input against the same vocabulary the trace
+// serializes with.
+func EventKindByName(name string) (EventKind, bool) {
 	for i, n := range eventKindNames {
-		if n == s {
-			*k = EventKind(i)
-			return nil
+		if n == name {
+			return EventKind(i), true
 		}
 	}
-	return fmt.Errorf("obs: unknown event kind %q", s)
+	return 0, false
 }
 
 // NoPage marks an event not attributable to one OSPA page.

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -139,16 +140,34 @@ func isPromName(s string) bool {
 	return true
 }
 
+// histSeries accumulates one histogram series (base name + non-le
+// label set) while CheckExposition scans, so the cross-line histogram
+// invariants can be enforced at end of stream.
+type histSeries struct {
+	hasBucket bool
+	lastLe    float64
+	lastCum   float64
+	hasInf    bool
+	infCum    float64
+	hasSum    bool
+	hasCount  bool
+	countVal  float64
+}
+
 // CheckExposition validates a text exposition stream: line grammar,
 // metric-name grammar, label quoting, parseable sample values, and
 // that every sample belongs to a preceding # TYPE declaration (with
-// the _bucket/_sum/_count suffixes allowed for histograms). It is the
-// validator behind `compresso-sim -promcheck` and the obs-smoke
-// gauntlet target.
+// the _bucket/_sum/_count suffixes allowed for histograms). Histogram
+// series are additionally checked semantically: le bounds must be
+// strictly increasing with non-decreasing cumulative counts, and each
+// series must end in a +Inf bucket that agrees with a _count sample
+// and carry a _sum. It is the validator behind `compresso-sim
+// -promcheck` and the obs-smoke gauntlet target.
 func CheckExposition(r io.Reader) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	types := map[string]string{}
+	hists := map[string]*histSeries{}
 	lineNo := 0
 	samples := 0
 	for sc.Scan() {
@@ -182,7 +201,7 @@ func CheckExposition(r io.Reader) error {
 			}
 			continue
 		}
-		name, rest, err := splitSample(line)
+		name, labels, rest, err := splitSample(line)
 		if err != nil {
 			return fmt.Errorf("line %d: %v", lineNo, err)
 		}
@@ -209,8 +228,14 @@ func CheckExposition(r io.Reader) error {
 				return fmt.Errorf("line %d: bad timestamp %q", lineNo, ts)
 			}
 		}
-		if _, err := strconv.ParseFloat(value, 64); err != nil {
+		fv, err := strconv.ParseFloat(value, 64)
+		if err != nil {
 			return fmt.Errorf("line %d: bad sample value %q", lineNo, value)
+		}
+		if types[base] == "histogram" {
+			if err := checkHistSample(hists, base, strings.TrimPrefix(name, base), labels, fv); err != nil {
+				return fmt.Errorf("line %d: %v", lineNo, err)
+			}
 		}
 		samples++
 	}
@@ -220,19 +245,95 @@ func CheckExposition(r io.Reader) error {
 	if samples == 0 {
 		return fmt.Errorf("no samples found")
 	}
+	keys := make([]string, 0, len(hists))
+	for k := range hists {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		hs := hists[k]
+		switch {
+		case !hs.hasInf:
+			return fmt.Errorf("histogram series %q: missing +Inf bucket", k)
+		case !hs.hasCount:
+			return fmt.Errorf("histogram series %q: missing _count", k)
+		case !hs.hasSum:
+			return fmt.Errorf("histogram series %q: missing _sum", k)
+		case hs.countVal != hs.infCum:
+			return fmt.Errorf("histogram series %q: +Inf bucket %v disagrees with _count %v", k, hs.infCum, hs.countVal)
+		}
+	}
 	return nil
 }
 
-// splitSample splits "name{labels} value" into name and the value
+// checkHistSample folds one histogram sample into the per-series
+// state, enforcing the invariants that hold line-locally: buckets keyed
+// by a valid, strictly increasing le bound with non-decreasing
+// cumulative counts. suffix is the sample name with the histogram base
+// removed ("_bucket", "_sum", "_count", or "" for a bare base sample,
+// which the histogram type forbids).
+func checkHistSample(hists map[string]*histSeries, base, suffix string, labels [][2]string, fv float64) error {
+	// Group by base + non-le labels (sorted, so label order can't split
+	// a series); the le label is the bucket key, not series identity.
+	le, hasLe := "", false
+	rest := make([]string, 0, len(labels))
+	for _, l := range labels {
+		if l[0] == "le" {
+			le, hasLe = l[1], true
+			continue
+		}
+		rest = append(rest, l[0]+"="+l[1])
+	}
+	sort.Strings(rest)
+	key := base
+	if len(rest) > 0 {
+		key += "{" + strings.Join(rest, ",") + "}"
+	}
+	hs := hists[key]
+	if hs == nil {
+		hs = &histSeries{}
+		hists[key] = hs
+	}
+	switch suffix {
+	case "_bucket":
+		if !hasLe {
+			return fmt.Errorf("histogram series %q: bucket without le label", key)
+		}
+		bound, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			return fmt.Errorf("histogram series %q: bad le bound %q", key, le)
+		}
+		if hs.hasBucket && bound <= hs.lastLe {
+			return fmt.Errorf("histogram series %q: bucket le %v out of order after %v", key, bound, hs.lastLe)
+		}
+		if fv < hs.lastCum {
+			return fmt.Errorf("histogram series %q: bucket counts not cumulative (%v after %v)", key, fv, hs.lastCum)
+		}
+		hs.hasBucket, hs.lastLe, hs.lastCum = true, bound, fv
+		if math.IsInf(bound, 1) {
+			hs.hasInf, hs.infCum = true, fv
+		}
+	case "_sum":
+		hs.hasSum = true
+	case "_count":
+		hs.hasCount, hs.countVal = true, fv
+	default:
+		return fmt.Errorf("histogram %q: bare sample %q (want _bucket/_sum/_count)", base, base+suffix)
+	}
+	return nil
+}
+
+// splitSample splits "name{labels} value" into name, the parsed
+// {label name, raw escaped value} pairs in source order, and the value
 // remainder, validating the label-set quoting.
-func splitSample(line string) (name, rest string, err error) {
+func splitSample(line string) (name string, labels [][2]string, rest string, err error) {
 	brace := strings.IndexByte(line, '{')
 	if brace < 0 {
 		sp := strings.IndexAny(line, " \t")
 		if sp < 0 {
-			return "", "", fmt.Errorf("sample %q has no value", line)
+			return "", nil, "", fmt.Errorf("sample %q has no value", line)
 		}
-		return line[:sp], line[sp:], nil
+		return line[:sp], nil, line[sp:], nil
 	}
 	name = line[:brace]
 	i := brace + 1
@@ -243,16 +344,18 @@ func splitSample(line string) (name, rest string, err error) {
 			j++
 		}
 		if j >= len(line) {
-			return "", "", fmt.Errorf("unterminated label set in %q", line)
+			return "", nil, "", fmt.Errorf("unterminated label set in %q", line)
 		}
-		if !isPromName(strings.TrimSpace(line[i:j])) {
-			return "", "", fmt.Errorf("invalid label name %q", strings.TrimSpace(line[i:j]))
+		lname := strings.TrimSpace(line[i:j])
+		if !isPromName(lname) {
+			return "", nil, "", fmt.Errorf("invalid label name %q", lname)
 		}
 		i = j + 1
 		if i >= len(line) || line[i] != '"' {
-			return "", "", fmt.Errorf("unquoted label value in %q", line)
+			return "", nil, "", fmt.Errorf("unquoted label value in %q", line)
 		}
 		i++
+		vstart := i
 		for i < len(line) {
 			if line[i] == '\\' {
 				i += 2
@@ -264,8 +367,9 @@ func splitSample(line string) (name, rest string, err error) {
 			i++
 		}
 		if i >= len(line) {
-			return "", "", fmt.Errorf("unterminated label value in %q", line)
+			return "", nil, "", fmt.Errorf("unterminated label value in %q", line)
 		}
+		labels = append(labels, [2]string{lname, line[vstart:i]})
 		i++ // past closing quote
 		if i < len(line) && line[i] == ',' {
 			i++
@@ -275,10 +379,10 @@ func splitSample(line string) (name, rest string, err error) {
 			i++
 			break
 		}
-		return "", "", fmt.Errorf("malformed label set in %q", line)
+		return "", nil, "", fmt.Errorf("malformed label set in %q", line)
 	}
 	if i >= len(line) || (line[i] != ' ' && line[i] != '\t') {
-		return "", "", fmt.Errorf("sample %q has no value", line)
+		return "", nil, "", fmt.Errorf("sample %q has no value", line)
 	}
-	return name, line[i:], nil
+	return name, labels, line[i:], nil
 }

@@ -85,6 +85,23 @@ func TestCheckExpositionRejects(t *testing.T) {
 		"bad timestamp":        "# TYPE foo counter\nfoo 1 abc\n",
 		"no samples":           "# TYPE foo counter\n",
 		"missing sample value": "# TYPE foo counter\nfoo\n",
+		"histogram buckets not cumulative": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 5\nh_count 5\n",
+		"histogram buckets out of order": "# TYPE h histogram\n" +
+			"h_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 2\n",
+		"histogram bad le bound": "# TYPE h histogram\n" +
+			"h_bucket{le=\"wide\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n",
+		"histogram bucket without le": "# TYPE h histogram\n" +
+			"h_bucket 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n",
+		"histogram missing +Inf bucket": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"histogram missing _count": "# TYPE h histogram\n" +
+			"h_bucket{le=\"+Inf\"} 1\nh_sum 1\n",
+		"histogram missing _sum": "# TYPE h histogram\n" +
+			"h_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+		"histogram count disagrees with +Inf": "# TYPE h histogram\n" +
+			"h_bucket{le=\"+Inf\"} 3\nh_sum 9\nh_count 4\n",
+		"histogram bare sample": "# TYPE h histogram\nh 9\n",
 	}
 	for name, in := range cases {
 		if err := CheckExposition(strings.NewReader(in)); err == nil {
@@ -94,15 +111,30 @@ func TestCheckExpositionRejects(t *testing.T) {
 }
 
 func TestCheckExpositionAccepts(t *testing.T) {
-	in := "# HELP foo a help line\n" +
-		"# TYPE foo counter\n" +
-		"foo{a=\"x\",b=\"y\"} 12 1700000000\n" +
-		"\n" +
-		"# TYPE h histogram\n" +
-		"h_bucket{le=\"+Inf\"} 3\n" +
-		"h_sum 9\n" +
-		"h_count 3\n"
-	if err := CheckExposition(strings.NewReader(in)); err != nil {
-		t.Fatalf("rejected valid exposition: %v", err)
+	cases := map[string]string{
+		"counter and minimal histogram": "# HELP foo a help line\n" +
+			"# TYPE foo counter\n" +
+			"foo{a=\"x\",b=\"y\"} 12 1700000000\n" +
+			"\n" +
+			"# TYPE h histogram\n" +
+			"h_bucket{le=\"+Inf\"} 3\n" +
+			"h_sum 9\n" +
+			"h_count 3\n",
+		// Two label sets of one histogram are distinct series; equal
+		// cumulative counts across adjacent buckets are legal.
+		"labeled histogram series": "# TYPE rt histogram\n" +
+			"rt_bucket{run=\"a\",le=\"1\"} 1\n" +
+			"rt_bucket{run=\"a\",le=\"2\"} 1\n" +
+			"rt_bucket{run=\"a\",le=\"+Inf\"} 2\n" +
+			"rt_sum{run=\"a\"} 3\n" +
+			"rt_count{run=\"a\"} 2\n" +
+			"rt_bucket{run=\"b\",le=\"+Inf\"} 0\n" +
+			"rt_sum{run=\"b\"} 0\n" +
+			"rt_count{run=\"b\"} 0\n",
+	}
+	for name, in := range cases {
+		if err := CheckExposition(strings.NewReader(in)); err != nil {
+			t.Errorf("%s: rejected valid exposition: %v", name, err)
+		}
 	}
 }

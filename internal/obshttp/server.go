@@ -1,9 +1,10 @@
 // Package obshttp is the serving half of the observability layer: a
 // live HTTP introspection server exposing the harness's progress and
 // metrics while a run executes. Endpoints: /metrics (Prometheus text
-// exposition), /timeseries and /events (JSON), /progress (JSON),
-// /healthz, and the standard net/http/pprof handlers under
-// /debug/pprof/.
+// exposition), /timeseries, /events (JSON; ?kind= and ?limit= filter
+// the trace), /attribution (JSON cycle-accounting snapshot, DESIGN.md
+// §14), /progress (JSON), /healthz, and the standard net/http/pprof
+// handlers under /debug/pprof/.
 //
 // The server is determinism-neutral by construction: it only ever
 // reads mutex-guarded snapshot copies published into it (or built by
@@ -17,6 +18,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"sync"
 	"time"
 
@@ -51,6 +53,7 @@ type Server struct {
 	runSnap   obs.Snapshot
 	runSample *obs.Sampler
 	trace     obs.Trace
+	attrib    obs.AttributionSnapshot
 
 	ln   net.Listener
 	srv  *http.Server
@@ -84,6 +87,7 @@ func (s *Server) Start(addr string) (string, error) {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/timeseries", s.handleTimeseries)
 	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/attribution", s.handleAttribution)
 	mux.HandleFunc("/progress", s.handleProgress)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -213,6 +217,14 @@ func (s *Server) PublishTrace(t obs.Trace) {
 	s.trace = t
 }
 
+// PublishAttribution publishes a run's cycle-accounting snapshot for
+// /attribution.
+func (s *Server) PublishAttribution(a obs.AttributionSnapshot) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.attrib = a
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
@@ -264,7 +276,51 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	t := s.trace
 	s.mu.Unlock()
+	q := r.URL.Query()
+	if name := q.Get("kind"); name != "" {
+		kind, ok := obs.EventKindByName(name)
+		if !ok {
+			http.Error(w, fmt.Sprintf("unknown event kind %q", name), http.StatusBadRequest)
+			return
+		}
+		filtered := make([]obs.Event, 0, len(t.Events))
+		for _, e := range t.Events {
+			if e.Kind == kind {
+				filtered = append(filtered, e)
+			}
+		}
+		if len(filtered) == 0 {
+			filtered = nil // keep the empty trace's JSON shape (omitempty)
+		}
+		t.Events = filtered
+	}
+	if ls := q.Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n < 0 {
+			http.Error(w, fmt.Sprintf("bad limit %q (want a non-negative integer)", ls), http.StatusBadRequest)
+			return
+		}
+		if n < len(t.Events) {
+			t.Events = t.Events[len(t.Events)-n:] // newest n events
+		}
+		if n == 0 {
+			t.Events = nil
+		}
+	}
 	writeJSON(w, t)
+}
+
+// handleAttribution serves the latest published cycle-accounting
+// snapshot; before any run publishes one it serves the empty-shaped
+// snapshot so the JSON schema is always complete.
+func (s *Server) handleAttribution(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	snap := s.attrib
+	s.mu.Unlock()
+	if snap.Components == nil {
+		snap = obs.EmptyAttributionSnapshot()
+	}
+	writeJSON(w, snap)
 }
 
 func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {

@@ -129,6 +129,122 @@ func TestServerEndpoints(t *testing.T) {
 	}
 }
 
+// getStatus is the raw counterpart of get for handlers that are
+// expected to refuse the request.
+func getStatus(t *testing.T, addr, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEventsFilters(t *testing.T) {
+	s, addr := startTestServer(t)
+	tr := obs.NewTracer(16)
+	tr.Emit(10, obs.EvLineOverflow, 3, 1)
+	tr.Emit(20, obs.EvRepack, 4, 0)
+	tr.Emit(30, obs.EvLineOverflow, 5, 2)
+	tr.Emit(40, obs.EvRepack, 6, 0)
+	s.PublishTrace(tr.Trace())
+
+	decode := func(body string) obs.Trace {
+		t.Helper()
+		var trace obs.Trace
+		if err := json.Unmarshal([]byte(body), &trace); err != nil {
+			t.Fatalf("/events not JSON: %v\n%s", err, body)
+		}
+		return trace
+	}
+
+	body, _ := get(t, addr, "/events?kind=line-overflow")
+	trace := decode(body)
+	if len(trace.Events) != 2 {
+		t.Fatalf("kind filter kept %d events, want 2", len(trace.Events))
+	}
+	for _, e := range trace.Events {
+		if e.Kind != obs.EvLineOverflow {
+			t.Fatalf("kind filter leaked %v", e.Kind)
+		}
+	}
+	// Capacity/Total describe the underlying trace, not the filtered view.
+	if trace.Total != 4 {
+		t.Fatalf("filtered trace lost totals: %+v", trace)
+	}
+
+	body, _ = get(t, addr, "/events?limit=2")
+	trace = decode(body)
+	if len(trace.Events) != 2 || trace.Events[0].Cycle != 30 || trace.Events[1].Cycle != 40 {
+		t.Fatalf("limit did not keep the newest 2 events: %+v", trace.Events)
+	}
+
+	body, _ = get(t, addr, "/events?kind=repack&limit=1")
+	trace = decode(body)
+	if len(trace.Events) != 1 || trace.Events[0].Cycle != 40 {
+		t.Fatalf("combined filter wrong: %+v", trace.Events)
+	}
+
+	if body, _ := get(t, addr, "/events?limit=0"); len(decode(body).Events) != 0 {
+		t.Fatal("limit=0 returned events")
+	}
+	// A limit beyond the trace is a no-op, not an error.
+	if body, _ := get(t, addr, "/events?limit=999"); len(decode(body).Events) != 4 {
+		t.Fatal("oversized limit dropped events")
+	}
+
+	for _, path := range []string{
+		"/events?kind=nope",
+		"/events?limit=-1",
+		"/events?limit=abc",
+	} {
+		if code, body := getStatus(t, addr, path); code != http.StatusBadRequest {
+			t.Fatalf("GET %s: status %d (%q), want 400", path, code, body)
+		}
+	}
+}
+
+func TestServerAttributionEndpoint(t *testing.T) {
+	s, addr := startTestServer(t)
+
+	// Before any run publishes, the endpoint serves the empty-shaped
+	// snapshot: full component vector, zero totals.
+	body, ctype := get(t, addr, "/attribution")
+	if ctype != "application/json" {
+		t.Fatalf("attribution content type %q", ctype)
+	}
+	var snap obs.AttributionSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/attribution not JSON: %v", err)
+	}
+	if len(snap.Components) != int(obs.NComponents) || snap.Accesses != 0 {
+		t.Fatalf("empty attribution malformed: %d components, %d accesses", len(snap.Components), snap.Accesses)
+	}
+
+	a := obs.NewAttribution(4)
+	a.Begin(100, 7, false)
+	a.ExposedDRAM(10, 26)
+	a.Exposed(obs.CompDecompress, 9)
+	a.End(145)
+	s.PublishAttribution(a.Snapshot())
+
+	body, _ = get(t, addr, "/attribution")
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/attribution not JSON: %v", err)
+	}
+	if snap.Accesses != 1 || snap.ChargedCycles != 45 {
+		t.Fatalf("published snapshot lost: %+v", snap)
+	}
+	if snap.Components[obs.CompDecompress].ExposedCycles != 9 {
+		t.Fatalf("component breakdown lost: %+v", snap.Components[obs.CompDecompress])
+	}
+}
+
 func TestServerNoRunNoTracker(t *testing.T) {
 	s := New(nil)
 	addr, err := s.Start("127.0.0.1:0")

@@ -1,0 +1,132 @@
+package sim
+
+// Attribution pipeline tests (DESIGN.md §14): the ledger must be
+// observation-only — committed artifacts and timing are byte-identical
+// with attribution on or off — and the conservation invariant must
+// hold through the full simulator pipeline, not just the conformance
+// micro-program.
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"compresso/internal/obs"
+	"compresso/internal/workload"
+)
+
+// TestAttributionArtifactNeutral pins the PR 4 invariant for the
+// attribution ledger: the Result JSON (the committed BENCH_* payload)
+// and the timing outcome are byte-identical with attribution on or
+// off.
+func TestAttributionArtifactNeutral(t *testing.T) {
+	prof, _ := workload.ByName("gcc")
+	for _, sys := range []System{Compresso, CXL} {
+		off := quickCfg(sys)
+		on := off
+		on.Attribution = true
+		ro := RunSingle(prof, off)
+		rn := RunSingle(prof, on)
+		if ro.Cycles != rn.Cycles || ro.Mem != rn.Mem {
+			t.Fatalf("%s: attribution changed the run: cycles %d vs %d", sys, ro.Cycles, rn.Cycles)
+		}
+		jo, err := json.Marshal(ro)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jn, err := json.Marshal(rn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(jo, jn) {
+			t.Fatalf("%s: Result JSON differs with attribution on", sys)
+		}
+		if rn.Attribution.Accesses == 0 {
+			t.Fatalf("%s: attribution enabled but recorded nothing", sys)
+		}
+		if ro.Attribution.Accesses != 0 {
+			t.Fatalf("%s: attribution off but snapshot non-empty", sys)
+		}
+	}
+}
+
+// TestAttributionPipelineConservation drives every registered system
+// through RunSingle with attribution on and requires zero conservation
+// violations plus access-count agreement with the demand counters.
+func TestAttributionPipelineConservation(t *testing.T) {
+	prof, _ := workload.ByName("gcc")
+	for _, sys := range AllSystems() {
+		sys := sys
+		t.Run(sys.String(), func(t *testing.T) {
+			cfg := quickCfg(sys)
+			cfg.Attribution = true
+			cfg.TopPages = 4
+			res := RunSingle(prof, cfg)
+			a := res.Attribution
+			if a.Violations != 0 {
+				t.Fatalf("%d conservation violations; first: %s", a.Violations, a.FirstViolation)
+			}
+			if a.Accesses != res.Mem.DemandAccesses() {
+				t.Fatalf("attribution saw %d accesses, memctl counted %d", a.Accesses, res.Mem.DemandAccesses())
+			}
+			var exposed uint64
+			for _, c := range a.Components {
+				exposed += c.ExposedCycles
+			}
+			if exposed != a.ChargedCycles {
+				t.Fatalf("exposed component cycles %d != charged %d", exposed, a.ChargedCycles)
+			}
+			if len(a.HotPages) == 0 || len(a.HotPages) > 4 {
+				t.Fatalf("hot-page profile out of bounds: %d entries", len(a.HotPages))
+			}
+		})
+	}
+}
+
+// TestAttributionOverlapConservation pins conservation under the
+// overlapped-controller timing model, where decompression splits into
+// exposed and hidden shares.
+func TestAttributionOverlapConservation(t *testing.T) {
+	prof, _ := workload.ByName("gcc")
+	cfg := quickCfg(Compresso)
+	cfg.Attribution = true
+	cfg.Overlap = true
+	res := RunSingle(prof, cfg)
+	a := res.Attribution
+	if a.Violations != 0 {
+		t.Fatalf("%d conservation violations; first: %s", a.Violations, a.FirstViolation)
+	}
+	if res.Mem.OverlapHiddenCycles == 0 {
+		t.Fatal("overlap model never hid decompression in this run; test is vacuous")
+	}
+	if a.Components[obs.CompDecompress].HiddenCycles == 0 {
+		t.Fatal("hidden decompress cycles not attributed under overlap")
+	}
+}
+
+// TestAttributionMixConservation covers the shared-controller mix
+// runner: one ledger spans all cores, and the mix artifact stays
+// byte-identical with attribution on.
+func TestAttributionMixConservation(t *testing.T) {
+	p1, _ := workload.ByName("gcc")
+	p2, _ := workload.ByName("mcf")
+	profs := []workload.Profile{p1, p2}
+	off := quickCfg(Compresso)
+	off.Ops = 10_000
+	on := off
+	on.Attribution = true
+	ro := RunMix("m", profs, off)
+	rn := RunMix("m", profs, on)
+	jo, _ := json.Marshal(ro)
+	jn, _ := json.Marshal(rn)
+	if !bytes.Equal(jo, jn) {
+		t.Fatal("MultiResult JSON differs with attribution on")
+	}
+	a := rn.Attribution
+	if a.Violations != 0 {
+		t.Fatalf("%d conservation violations; first: %s", a.Violations, a.FirstViolation)
+	}
+	if a.Accesses != rn.Mem.DemandAccesses() {
+		t.Fatalf("attribution saw %d accesses, memctl counted %d", a.Accesses, rn.Mem.DemandAccesses())
+	}
+}

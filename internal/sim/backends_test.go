@@ -15,6 +15,7 @@ import (
 	"compresso/internal/faults"
 	"compresso/internal/memctl"
 	"compresso/internal/metadata"
+	"compresso/internal/obs"
 	"compresso/internal/rng"
 	"compresso/internal/workload"
 )
@@ -89,6 +90,16 @@ func TestBackendConformance(t *testing.T) {
 				t.Fatalf("controller Name() = %q, registered as %q", ctl.Name(), b.Name)
 			}
 
+			// Every backend must support the cycle-accounting ledger
+			// (DESIGN.md §14); it rides along the whole conformance
+			// program and its conservation invariant is checked below.
+			as, ok := ctl.(interface{ SetAttribution(*obs.Attribution) })
+			if !ok {
+				t.Fatalf("backend %q does not implement SetAttribution", b.Name)
+			}
+			attr := obs.NewAttribution(8)
+			as.SetAttribution(attr)
+
 			// Install every page with a deterministic mix of patterns.
 			r := rng.New(7)
 			for p := uint64(0); p < pages; p++ {
@@ -138,6 +149,25 @@ func TestBackendConformance(t *testing.T) {
 			}
 			if ratio := memctl.CompressionRatio(ctl); ratio < 1 || ratio > 64 {
 				t.Fatalf("CompressionRatio = %v after demand traffic, outside [1, 64]", ratio)
+			}
+
+			// Attribution conservation: every access's exposed
+			// components summed exactly to its charged latency, and the
+			// aggregate totals agree (snapshot taken before the audits
+			// below add out-of-access repair traffic).
+			snap := attr.Snapshot()
+			if snap.Accesses != reads+writes {
+				t.Fatalf("attribution saw %d accesses, drove %d", snap.Accesses, reads+writes)
+			}
+			if v := attr.Violations(); v != 0 {
+				t.Fatalf("%d conservation violations; first: %s", v, snap.FirstViolation)
+			}
+			var exposedTotal uint64
+			for _, c := range snap.Components {
+				exposedTotal += c.ExposedCycles
+			}
+			if exposedTotal != snap.ChargedCycles {
+				t.Fatalf("exposed component cycles %d != charged cycles %d", exposedTotal, snap.ChargedCycles)
 			}
 
 			// Differential check: a Full repairless audit against the

@@ -148,6 +148,19 @@ type Config struct {
 	// model and byte-identical committed artifacts.
 	Overlap bool
 
+	// Attribution enables the cycle-accounting attribution ledger
+	// (obs.Attribution, DESIGN.md §14): every demand access decomposes
+	// its charged latency into typed components with a per-access
+	// conservation check, plus a bounded hot-page overhead profile.
+	// Off (the default) keeps the nil-ledger fast path; committed
+	// artifacts are byte-identical either way (Result.Attribution is
+	// excluded from JSON like Series/BackendMetrics).
+	Attribution bool
+
+	// TopPages bounds the attribution hot-page profile (<= 0 uses
+	// DefaultTopPages).
+	TopPages int
+
 	// Assets, when non-nil, supplies pre-materialized workload images
 	// with warm per-line size memos (PrepareAssets). Each run clones
 	// the masters instead of regenerating and re-sizing them — sharing
@@ -193,6 +206,10 @@ func checkCancel(cfg Config, ops uint64) {
 // DefaultSampleWindows is the sampler ring bound when
 // Config.SampleWindows is unset.
 const DefaultSampleWindows = 512
+
+// DefaultTopPages is the attribution hot-page profile bound when
+// Config.TopPages is unset.
+const DefaultTopPages = 32
 
 // DefaultConfig returns the paper's Tab. III setup for the given
 // system.
@@ -258,6 +275,11 @@ type Result struct {
 	// BENCH_* result payloads of metric-free backends stay
 	// byte-identical.
 	BackendMetrics obs.Snapshot `json:"-"`
+
+	// Attribution is the run's cycle-accounting snapshot (empty-shaped
+	// unless Config.Attribution). Excluded from JSON so committed
+	// artifacts stay byte-identical with attribution on or off.
+	Attribution obs.AttributionSnapshot `json:"-"`
 }
 
 // Registry builds the run's metrics registry: every stat struct
@@ -279,6 +301,9 @@ func (r Result) Registry() *obs.Registry {
 		reg.Histogram("memctl.page_size_chunks").AddSnapshot(r.PageSizes)
 	}
 	mergeSnapshot(reg, r.BackendMetrics)
+	if r.Attribution.Accesses > 0 {
+		mergeSnapshot(reg, r.Attribution.Metrics())
+	}
 	return reg
 }
 
@@ -533,6 +558,7 @@ func RunSingle(prof workload.Profile, cfg Config) Result {
 	img.InstallInto(ctl)
 	auditor := newAuditor(cfg, ctl)
 	tracer := attachTracer(cfg, ctl)
+	attr := attachAttribution(cfg, ctl)
 
 	l3 := cache.New("l3", scaledL3Bytes(2<<20, cfg.FootprintScale), 16)
 	hier := cache.NewHierarchy(l3)
@@ -563,6 +589,7 @@ func RunSingle(prof workload.Profile, cfg Config) Result {
 		}
 		if i+1 == warm {
 			resetAll(ctl, mem, c, hier)
+			attr.Reset()
 		}
 	}
 	c.Drain()
@@ -584,6 +611,9 @@ func RunSingle(prof workload.Profile, cfg Config) Result {
 	}
 	res.Faults = inj.Totals()
 	res.Trace = tracer.Trace()
+	if attr != nil {
+		res.Attribution = attr.Snapshot()
+	}
 	return res
 }
 
@@ -628,6 +658,27 @@ func attachTracer(cfg Config, ctl memctl.Controller) *obs.Tracer {
 		ts.SetTracer(tracer)
 	}
 	return tracer
+}
+
+// attachAttribution builds the run's cycle-accounting ledger and
+// installs it on controllers that support attribution (every
+// registered backend does). Returns nil — all methods no-ops — when
+// attribution is off, mirroring attachTracer.
+func attachAttribution(cfg Config, ctl memctl.Controller) *obs.Attribution {
+	if !cfg.Attribution {
+		return nil
+	}
+	as, ok := ctl.(interface{ SetAttribution(*obs.Attribution) })
+	if !ok {
+		return nil
+	}
+	top := cfg.TopPages
+	if top <= 0 {
+		top = DefaultTopPages
+	}
+	attr := obs.NewAttribution(top)
+	as.SetAttribution(attr)
+	return attr
 }
 
 // resetAll marks the warmup boundary: all counters restart, and the
@@ -699,6 +750,10 @@ type MultiResult struct {
 	// BackendMetrics holds the backend's own per-prefix counters (see
 	// Result.BackendMetrics).
 	BackendMetrics obs.Snapshot `json:"-"`
+
+	// Attribution is the run's cycle-accounting snapshot (see
+	// Result.Attribution); one shared controller means one ledger.
+	Attribution obs.AttributionSnapshot `json:"-"`
 }
 
 // Registry builds the mix run's metrics registry: the shared memory
@@ -719,6 +774,9 @@ func (m MultiResult) Registry() *obs.Registry {
 		c.CPU.Register(reg, fmt.Sprintf("core%d.cpu", i))
 	}
 	mergeSnapshot(reg, m.BackendMetrics)
+	if m.Attribution.Accesses > 0 {
+		mergeSnapshot(reg, m.Attribution.Metrics())
+	}
 	return reg
 }
 
@@ -786,6 +844,7 @@ func RunMix(mixName string, profs []workload.Profile, cfg Config) MultiResult {
 	}
 	auditor := newAuditor(cfg, ctl)
 	tracer := attachTracer(cfg, ctl)
+	attr := attachAttribution(cfg, ctl)
 
 	// Shared L3: 8 MB for 4 cores (Tab. III), scaled by core count and
 	// footprint scale.
@@ -878,6 +937,7 @@ func RunMix(mixName string, profs []workload.Profile, cfg Config) MultiResult {
 					rs = append(rs, cores[i])
 				}
 				resetAll(ctl, mem, rs...)
+				attr.Reset()
 				warmed = true
 			}
 		}
@@ -926,5 +986,8 @@ func RunMix(mixName string, profs []workload.Profile, cfg Config) MultiResult {
 	}
 	out.Faults = inj.Totals()
 	out.Trace = tracer.Trace()
+	if attr != nil {
+		out.Attribution = attr.Snapshot()
+	}
 	return out
 }
