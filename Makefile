@@ -5,9 +5,9 @@ GO ?= go
 # Worker count for the chaos/soak harnesses (0 = all cores).
 JOBS ?= 0
 
-.PHONY: check vet fmt-check build test race fuzz bench-quick bench-json bench-kernels bench-hotloop backends obs-smoke chaos soak
+.PHONY: check vet fmt-check build test race fuzz bench-quick bench-json bench-kernels bench-hotloop backends fleet obs-smoke chaos soak
 
-check: vet fmt-check build test race bench-kernels bench-hotloop backends obs-smoke chaos
+check: vet fmt-check build test race bench-kernels bench-hotloop backends fleet obs-smoke chaos
 
 vet:
 	$(GO) vet ./...
@@ -32,7 +32,8 @@ race:
 	$(GO) test -race -timeout 20m ./internal/core/... ./internal/sim/... \
 		./internal/parallel/... ./internal/experiments/... \
 		./internal/progress/... ./internal/obshttp/... \
-		./internal/memctl/... ./internal/cram/... ./internal/cxl/...
+		./internal/memctl/... ./internal/cram/... ./internal/cxl/... \
+		./internal/fleet/...
 
 # Time one full quick-mode RunAll sweep serial vs parallel. The output
 # is byte-identical by contract; only the wall time should differ.
@@ -76,6 +77,8 @@ bench-json:
 		-trace-events 1024 -json-summary -json .bench-json-tmp > /dev/null
 	$(GO) run ./cmd/compresso-sim -exp attribution -quick \
 		-json .bench-json-tmp > /dev/null
+	$(GO) run ./cmd/compresso-sim -exp fleet-sweep -quick \
+		-json .bench-json-tmp > /dev/null
 	@for f in .bench-json-tmp/*.json; do \
 		mv "$$f" "BENCH_$$(basename $$f)"; done; rm -rf .bench-json-tmp
 	@ls BENCH_*.json
@@ -104,6 +107,24 @@ backends:
 	(cd .backends && sha256sum -c ../BACKENDS.sha256 --quiet) || { \
 		echo "backends: sweep output drifted from BACKENDS.sha256"; exit 1; }; \
 	echo "backends: ok ($$swept backends conformant, sweeps sha-verified)"
+
+# Fleet gate (DESIGN.md §15): the multi-node tier-simulator package
+# tests, then the fleet-sweep experiment in quick mode at -jobs 1 and
+# -jobs 8 with text output and the JSON artifact sha-compared — the
+# fleet determinism contract (byte-identical at any worker count)
+# verified end to end through the real CLI.
+fleet:
+	@rm -rf .fleet; mkdir -p .fleet/j1 .fleet/j8
+	@$(GO) build -o .fleet/compresso-sim ./cmd/compresso-sim
+	@set -e; trap 'rm -rf .fleet' EXIT; \
+	$(GO) test -count 1 ./internal/fleet/ > /dev/null; \
+	.fleet/compresso-sim -exp fleet-sweep -quick -jobs 1 -json .fleet/j1 > .fleet/out1.txt; \
+	.fleet/compresso-sim -exp fleet-sweep -quick -jobs 8 -json .fleet/j8 > .fleet/out8.txt; \
+	cmp -s .fleet/out1.txt .fleet/out8.txt || { echo "fleet: text output differs across -jobs"; exit 1; }; \
+	sha1=$$(cd .fleet/j1 && sha256sum *.json | sha256sum); \
+	sha8=$$(cd .fleet/j8 && sha256sum *.json | sha256sum); \
+	[ "$$sha1" = "$$sha8" ] || { echo "fleet: artifacts differ across -jobs"; exit 1; }; \
+	echo "fleet: ok (package tests green, quick sweep sha-identical at -jobs 1 vs 8)"
 
 # Live-introspection smoke test: start a sweep with -serve, poll the
 # endpoints, and validate the /metrics exposition with the binary's

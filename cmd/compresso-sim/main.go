@@ -31,6 +31,7 @@ import (
 	"compresso/internal/compress"
 	"compresso/internal/experiments"
 	"compresso/internal/faults"
+	"compresso/internal/fleet"
 	"compresso/internal/journal"
 	"compresso/internal/memctl"
 	"compresso/internal/obs"
@@ -73,9 +74,13 @@ func main() {
 		inject   = flag.String("inject", "", "fault-injection spec, e.g. bitflip:1e-6,mdmiss:1e-4 (sites: bitflip, metaflip, chunkdrop, chunkdup, mdmiss, tracetrunc)")
 		auditEv  = flag.Uint64("audit-every", 0, "run a repairing state audit every N demand ops (0 disables)")
 		jsonDir  = flag.String("json", "", "write JSON artifacts for every run/experiment into this directory")
-		traceEv  = flag.Int("trace-events", 0, "retain the newest N controller events in the result trace (omit to disable tracing)")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
+		fleetF      = flag.Bool("fleet", false, "run a multi-node fleet simulation: every node wraps a registered backend with hot/cold tiering and ballooning (see -fleet-nodes, -fleet-policy)")
+		fleetNodes  = flag.Int("fleet-nodes", 16, "with -fleet: fleet size in nodes")
+		fleetPolicy = flag.String("fleet-policy", "hysteresis", "with -fleet: tier promotion/demotion policy (hysteresis, aggressive, static)")
+		traceEv     = flag.Int("trace-events", 0, "retain the newest N controller events in the result trace (omit to disable tracing)")
+		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf     = flag.String("memprofile", "", "write a heap profile to this file on exit")
 
 		serve     = flag.String("serve", "", "serve live introspection (/metrics, /timeseries, /events, /progress, /healthz, pprof) on this address, e.g. 127.0.0.1:8080 (port 0 picks a free port)")
 		sampleEv  = flag.Uint64("sample-every", 0, "snapshot live run metrics every N demand ops into a windowed time series (0 disables; determinism-neutral)")
@@ -130,6 +135,7 @@ func main() {
 	// (which would otherwise alias the default 42); an explicit
 	// -trace-events must be a usable ring capacity.
 	seedSet, traceSet, jobsSet := false, false, false
+	fleetNodesSet, fleetPolicySet := false, false
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "seed":
@@ -138,6 +144,10 @@ func main() {
 			traceSet = true
 		case "jobs":
 			jobsSet = true
+		case "fleet-nodes":
+			fleetNodesSet = true
+		case "fleet-policy":
+			fleetPolicySet = true
 		}
 	})
 	usageErr := func(err error) {
@@ -155,6 +165,13 @@ func main() {
 		CellTimeout: *cellTO, Quarantine: *quarantine, Chaos: *chaosSpec,
 	}
 	if err := rf.validate(); err != nil {
+		usageErr(err)
+	}
+	ff := fleetFlags{
+		Enabled: *fleetF, Nodes: *fleetNodes, NodesSet: fleetNodesSet,
+		Policy: *fleetPolicy, PolicySet: fleetPolicySet,
+	}
+	if err := ff.validate(); err != nil {
 		usageErr(err)
 	}
 
@@ -266,6 +283,8 @@ func main() {
 		runErr = experiments.RunAll(expOpts)
 	case *exp != "":
 		runErr = experiments.Run(*exp, expOpts)
+	case *fleetF:
+		runFleet(*fleetNodes, *fleetPolicy, *quick, *seed, *scale, *jobs)
 	case *bench != "" && *capFrac > 0:
 		runCapacity(*bench, *capFrac, *ops, *scale, *seed, *jobs)
 	case *bench != "":
@@ -428,6 +447,87 @@ func (f resilienceFlags) validate() error {
 		}
 	}
 	return nil
+}
+
+// fleetFlags is the validated view of the -fleet flag family; like
+// resilienceFlags, validate turns every nonsensical combination into
+// an actionable flag error (exit 2).
+type fleetFlags struct {
+	Enabled   bool
+	Nodes     int
+	NodesSet  bool
+	Policy    string
+	PolicySet bool
+}
+
+func (f fleetFlags) validate() error {
+	if !f.Enabled {
+		switch {
+		case f.NodesSet:
+			return fmt.Errorf("-fleet-nodes only applies to fleet runs; add -fleet")
+		case f.PolicySet:
+			return fmt.Errorf("-fleet-policy only applies to fleet runs; add -fleet")
+		}
+		return nil
+	}
+	if f.Nodes < 1 {
+		return fmt.Errorf("-fleet-nodes must be >= 1, got %d", f.Nodes)
+	}
+	if _, err := fleet.PolicyByName(f.Policy); err != nil {
+		return fmt.Errorf("-fleet-policy: %w", err)
+	}
+	return nil
+}
+
+// fleetCLIBackends is the backend set -fleet nodes cycle through: the
+// four headline architectures plus the uncompressed baseline.
+var fleetCLIBackends = []string{"compresso", "lcp", "cram", "cxl", "uncompressed"}
+
+// runFleet executes the -fleet mode: a mixed-backend fleet under the
+// chosen tier policy, with the rollup table on stdout and a
+// kind-"fleet" artifact under -json.
+func runFleet(nodes int, policyName string, quick bool, seed uint64, scale, jobs int) {
+	pol, err := fleet.PolicyByName(policyName)
+	if err != nil {
+		fatal(err)
+	}
+	specs, err := fleet.Mix(nodes, fleetCLIBackends, seed)
+	if err != nil {
+		fatal(err)
+	}
+	epochs, opsPerEpoch := 4, uint64(2000)
+	if quick {
+		epochs, opsPerEpoch = 3, 500
+	}
+	res, err := fleet.Run(fleet.Config{
+		Nodes:          specs,
+		Policy:         pol,
+		Epochs:         epochs,
+		OpsPerEpoch:    opsPerEpoch,
+		FootprintScale: scale,
+		Jobs:           jobs,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	snap := res.Registry().Snapshot()
+	name := fmt.Sprintf("%s_%dn", pol.Name, nodes)
+	publishRun("fleet_"+name, snap, obs.Trace{}, obs.AttributionSnapshot{})
+	writeRunArtifact("fleet", name, runArtifact(res, snap))
+
+	fmt.Printf("fleet: %d nodes over %s, policy %s, %d epochs x %d ops (scale %d)\n",
+		nodes, strings.Join(fleetCLIBackends, "/"), pol.Name, epochs, opsPerEpoch, scale)
+	tbl := stats.NewTable("node", "bench", "backend", "ratio", "hot-pgs", "promo", "demo", "balloon-pgs")
+	for _, n := range res.Nodes {
+		tbl.AddRow(n.ID, n.Bench, n.Backend, n.Ratio, n.HotPages,
+			n.Promotions, n.Demotions, n.BalloonPages)
+	}
+	tbl.Render(os.Stdout)
+	fmt.Printf("rollup: ratio %.3f | hot-hit %.3f | churn %.3f/kop | moved %.2f MB | balloon %d pages\n",
+		res.AggRatio, res.HotHitRate, res.ChurnPerKOp,
+		float64(res.MoveBytes)/(1<<20), res.BalloonPages)
+	fmt.Printf("tco/month: memory $%.4f | reclaimed $%.4f | energy $%.6f\n",
+		res.MemoryDollars, res.BalloonDollars, res.EnergyDollars)
 }
 
 // runPromCheck validates a Prometheus text exposition file (the

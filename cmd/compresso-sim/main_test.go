@@ -34,6 +34,46 @@ func TestValidateTraceEvents(t *testing.T) {
 	}
 }
 
+// TestFleetFlagValidation pins the -fleet flag family contract:
+// -fleet-* without -fleet is a flag error (the silent-no-op trap the
+// resilience flags also guard against), a non-positive fleet size and
+// an unknown policy are flag errors, and the documented-good shapes
+// pass.
+func TestFleetFlagValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		f       fleetFlags
+		wantErr string // substring; empty = must pass
+	}{
+		{name: "disabled default", f: fleetFlags{}},
+		{name: "enabled default", f: fleetFlags{Enabled: true, Nodes: 16, Policy: "hysteresis"}},
+		{name: "enabled explicit", f: fleetFlags{Enabled: true, Nodes: 32, NodesSet: true,
+			Policy: "static", PolicySet: true}},
+		{name: "nodes without fleet", f: fleetFlags{Nodes: 32, NodesSet: true},
+			wantErr: "-fleet-nodes only applies"},
+		{name: "policy without fleet", f: fleetFlags{Policy: "static", PolicySet: true},
+			wantErr: "-fleet-policy only applies"},
+		{name: "zero nodes", f: fleetFlags{Enabled: true, Nodes: 0, NodesSet: true,
+			Policy: "hysteresis"}, wantErr: "-fleet-nodes must be >= 1"},
+		{name: "negative nodes", f: fleetFlags{Enabled: true, Nodes: -4, NodesSet: true,
+			Policy: "hysteresis"}, wantErr: "-fleet-nodes must be >= 1"},
+		{name: "unknown policy", f: fleetFlags{Enabled: true, Nodes: 16,
+			Policy: "yolo", PolicySet: true}, wantErr: "unknown policy"},
+	}
+	for _, c := range cases {
+		err := c.f.validate()
+		if c.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %v, want substring %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
 // TestResilienceFlagValidation pins the resilience flag contract: every
 // nonsensical combination is a flag error (exit 2) carrying an
 // actionable message, and every documented-good shape passes.

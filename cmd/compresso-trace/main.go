@@ -147,14 +147,15 @@ func inspect(prof workload.Profile, scale int, ops, seed uint64, phases bool) {
 		counts = append(counts, float64(c))
 		total += float64(c)
 	}
-	hot := stats.Percentile(counts, 90)
-	var hotMass float64
-	for _, c := range counts {
-		if c >= hot {
-			hotMass += c
+	if hot, ok := stats.Percentile(counts, 90); ok {
+		var hotMass float64
+		for _, c := range counts {
+			if c >= hot {
+				hotMass += c
+			}
 		}
+		fmt.Printf("locality: hottest decile of touched pages receives %.1f%% of accesses\n", 100*hotMass/total)
 	}
-	fmt.Printf("locality: hottest decile of touched pages receives %.1f%% of accesses\n", 100*hotMass/total)
 
 	if phases {
 		phaseRatio = append(phaseRatio, img.MeasureRatio(compress.BPC{}, compress.LegacyBins, 4))

@@ -104,3 +104,33 @@ func (m Model) Evaluate(in Inputs) Breakdown {
 func CompressionsEstimate(s memctl.Stats) uint64 {
 	return s.DataReads + s.DemandWrites + s.OverflowAccesses + s.RepackAccesses
 }
+
+// TCOModel prices a deployment's memory footprint and energy, the
+// rollup behind the fleet experiments: compression pays off at
+// datacenter scale when the DRAM dollars it releases beat the movement
+// energy it spends (Compresso §I; the software-defined-tier TCO
+// argument of PAPERS.md).
+type TCOModel struct {
+	// DRAMDollarsPerGBMonth is the amortized monthly cost of one GB of
+	// provisioned server DRAM (hardware + power + opportunity).
+	DRAMDollarsPerGBMonth float64
+	// EnergyDollarsPerKWh prices marginal datacenter energy.
+	EnergyDollarsPerKWh float64
+}
+
+// DefaultTCO returns representative fleet economics: ~$0.35/GB-month
+// amortized DRAM and $0.08/kWh energy.
+func DefaultTCO() TCOModel {
+	return TCOModel{DRAMDollarsPerGBMonth: 0.35, EnergyDollarsPerKWh: 0.08}
+}
+
+// MemoryDollars prices bytes of DRAM held for months.
+func (t TCOModel) MemoryDollars(bytes int64, months float64) float64 {
+	return t.DRAMDollarsPerGBMonth * float64(bytes) / (1 << 30) * months
+}
+
+// EnergyDollars prices a breakdown's total (nanojoules → kWh).
+func (t TCOModel) EnergyDollars(b Breakdown) float64 {
+	const nanojoulesPerKWh = 3.6e15
+	return t.EnergyDollarsPerKWh * b.Total() / nanojoulesPerKWh
+}

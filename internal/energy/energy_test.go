@@ -78,3 +78,26 @@ func TestZeroCoresDefaultsToOne(t *testing.T) {
 		t.Fatal("zero-core input produced no core energy")
 	}
 }
+
+func TestTCOModel(t *testing.T) {
+	tco := DefaultTCO()
+	// One GB for one month costs exactly the per-GB-month rate.
+	if got := tco.MemoryDollars(1<<30, 1); got != tco.DRAMDollarsPerGBMonth {
+		t.Fatalf("MemoryDollars(1GB, 1mo) = %v, want %v", got, tco.DRAMDollarsPerGBMonth)
+	}
+	// Linear in both bytes and months.
+	if got, want := tco.MemoryDollars(2<<30, 3), 6*tco.DRAMDollarsPerGBMonth; got != want {
+		t.Fatalf("MemoryDollars(2GB, 3mo) = %v, want %v", got, want)
+	}
+	if tco.MemoryDollars(0, 1) != 0 {
+		t.Fatal("zero bytes cost money")
+	}
+	// One kWh = 3.6e15 nJ prices at the energy rate.
+	b := Breakdown{DRAMDynamic: 3.6e15}
+	if got := tco.EnergyDollars(b); got != tco.EnergyDollarsPerKWh {
+		t.Fatalf("EnergyDollars(1 kWh) = %v, want %v", got, tco.EnergyDollarsPerKWh)
+	}
+	if tco.EnergyDollars(Breakdown{}) != 0 {
+		t.Fatal("zero energy costs money")
+	}
+}

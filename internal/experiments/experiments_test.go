@@ -18,6 +18,7 @@ func TestRegistryComplete(t *testing.T) {
 		"backends-ratio", "backends-traffic",
 		"bpc-variants", "fig10a", "fig10b",
 		"fig11a", "fig11b", "fig12", "fig2", "fig4", "fig6", "fig7", "fig9",
+		"fleet-policy", "fleet-sweep",
 		"overlap", "related-dmc", "tab1", "tab2", "tab5"}
 	got := List()
 	if len(got) != len(want) {

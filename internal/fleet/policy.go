@@ -1,0 +1,101 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Policy is a node's tier promotion/demotion contract (DESIGN.md §15):
+// when a cold compressed page earns a hot uncompressed slot, when a hot
+// page falls back to the compressed tier, how much of the node's
+// footprint the hot tier may hold, and how much page movement one epoch
+// may spend. The threshold + hysteresis shape follows the
+// software-defined tiering literature (PAPERS.md, "Taming Server
+// Memory TCO"): promotion needs sustained heat, demotion needs
+// sustained idleness, and a per-epoch move cap damps oscillation.
+type Policy struct {
+	// Name is the identifier the CLI and experiments resolve.
+	Name string
+
+	// PromoteHits is the epoch access count at or above which a cold
+	// page is promoted (subject to budget and the move cap).
+	PromoteHits int
+
+	// DemoteIdleEpochs is how many consecutive zero-access epochs a hot
+	// page survives before demotion.
+	DemoteIdleEpochs int
+
+	// HotFrac is the hot tier's byte budget as a fraction of the node's
+	// uncompressed footprint.
+	HotFrac float64
+
+	// MaxMoveFrac caps one epoch's page moves (promotions + demotions)
+	// at this fraction of the footprint. Zero freezes the tiers: no
+	// churn ever (the static baseline).
+	MaxMoveFrac float64
+}
+
+// Validate checks the policy invariants the node loop relies on.
+func (p Policy) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("fleet: unnamed policy")
+	case p.PromoteHits < 0:
+		return fmt.Errorf("fleet policy %s: negative promote threshold", p.Name)
+	case p.DemoteIdleEpochs < 1:
+		return fmt.Errorf("fleet policy %s: demote idle epochs %d < 1", p.Name, p.DemoteIdleEpochs)
+	case p.HotFrac < 0 || p.HotFrac > 1:
+		return fmt.Errorf("fleet policy %s: hot fraction %v outside [0,1]", p.Name, p.HotFrac)
+	case p.MaxMoveFrac < 0 || p.MaxMoveFrac > 1:
+		return fmt.Errorf("fleet policy %s: move fraction %v outside [0,1]", p.Name, p.MaxMoveFrac)
+	}
+	return nil
+}
+
+// The named policies.
+var policies = map[string]Policy{
+	// hysteresis is the default: promotion needs repeated heat within
+	// one epoch, demotion needs two fully idle epochs, and at most 10%
+	// of the footprint moves per epoch — the TCO-paper-style damped
+	// tiering loop.
+	"hysteresis": {Name: "hysteresis", PromoteHits: 3, DemoteIdleEpochs: 2,
+		HotFrac: 0.25, MaxMoveFrac: 0.10},
+	// aggressive promotes on first touch and demotes after one idle
+	// epoch with a wide move cap: maximal responsiveness, maximal churn.
+	"aggressive": {Name: "aggressive", PromoteHits: 1, DemoteIdleEpochs: 1,
+		HotFrac: 0.25, MaxMoveFrac: 0.50},
+	// static pre-seeds the hot tier with the popularity-ranked hottest
+	// pages and never moves anything again (the no-churn baseline the
+	// dynamic policies are judged against).
+	"static": {Name: "static", PromoteHits: 1, DemoteIdleEpochs: 1,
+		HotFrac: 0.25, MaxMoveFrac: 0},
+}
+
+// Policies returns the named policies sorted by name.
+func Policies() []Policy {
+	out := make([]Policy, 0, len(policies))
+	for _, p := range policies {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// PolicyNames returns the sorted policy names.
+func PolicyNames() []string {
+	names := make([]string, 0, len(policies))
+	for n := range policies {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PolicyByName resolves a named policy.
+func PolicyByName(name string) (Policy, error) {
+	p, ok := policies[name]
+	if !ok {
+		return Policy{}, fmt.Errorf("fleet: unknown policy %q (have %v)", name, PolicyNames())
+	}
+	return p, nil
+}

@@ -88,18 +88,36 @@ func Open(dir string) (*Journal, error) {
 	}
 	path := filepath.Join(dir, FileName)
 	j := &Journal{path: path, entries: map[string]json.RawMessage{}}
+	var restore []byte
 	if buf, err := os.ReadFile(path); err == nil {
-		for _, line := range bytes.Split(buf, []byte("\n")) {
+		// A process killed mid-Record leaves a final line without its
+		// terminating newline. Appending after it would fuse the torn
+		// fragment with the next record into one corrupt line that the
+		// following resume drops — so the file is cut back to the last
+		// line boundary before opening for append. If the tail is a
+		// complete record that lost only its newline, it is kept and
+		// re-appended (terminated) once the writer is open.
+		valid := bytes.LastIndexByte(buf, '\n') + 1
+		tail := buf[valid:]
+		if len(tail) > 0 {
+			if err := os.Truncate(path, int64(valid)); err != nil {
+				return nil, fmt.Errorf("journal: truncating torn tail of %s: %w", path, err)
+			}
+		}
+		for _, line := range bytes.Split(buf[:valid], []byte("\n")) {
 			if len(bytes.TrimSpace(line)) == 0 {
 				continue
 			}
-			var e entry
-			if err := json.Unmarshal(line, &e); err != nil || e.Sum != checksum(e.Row) {
+			if !j.loadLine(line) {
 				j.stats.Dropped++
-				continue
 			}
-			j.entries[key(e.Label, e.Index, e.Hash)] = e.Row
-			j.stats.Loaded++
+		}
+		if len(bytes.TrimSpace(tail)) > 0 {
+			if j.loadLine(tail) {
+				restore = tail
+			} else {
+				j.stats.Dropped++
+			}
 		}
 	} else if !os.IsNotExist(err) {
 		return nil, fmt.Errorf("journal: reading %s: %w", path, err)
@@ -110,7 +128,27 @@ func Open(dir string) (*Journal, error) {
 	}
 	j.f = f
 	j.w = bufio.NewWriter(f)
+	if restore != nil {
+		if _, err := j.w.Write(append(restore, '\n')); err != nil {
+			return nil, fmt.Errorf("journal: restoring tail of %s: %w", path, err)
+		}
+		if err := j.w.Flush(); err != nil {
+			return nil, fmt.Errorf("journal: restoring tail of %s: %w", path, err)
+		}
+	}
 	return j, nil
+}
+
+// loadLine parses one journal line and stores it if it checksums,
+// reporting whether the line was valid.
+func (j *Journal) loadLine(line []byte) bool {
+	var e entry
+	if err := json.Unmarshal(line, &e); err != nil || e.Sum != checksum(e.Row) {
+		return false
+	}
+	j.entries[key(e.Label, e.Index, e.Hash)] = e.Row
+	j.stats.Loaded++
+	return true
 }
 
 // Path returns the journal file's path.

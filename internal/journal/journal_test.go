@@ -139,6 +139,118 @@ func TestTornTailDropped(t *testing.T) {
 	}
 }
 
+// TestResumeAfterKillMidWrite: the full SIGKILL-mid-write resume
+// cycle. A kill mid-Record leaves a partial final line with no
+// terminating newline; the resumed process re-executes that cell and
+// Records it. Pre-fix, Open dropped the torn tail from memory but left
+// it in the file, so the O_APPEND write fused the torn fragment with
+// the re-recorded cell into one corrupt line — and the *next* resume
+// silently lost that cell. Open must truncate the torn tail so every
+// line it appends afterwards starts at a line boundary.
+func TestResumeAfterKillMidWrite(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Record("g", i, "h", row{Name: "x", Count: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	// The kill: the final Record's line is half-written, no newline.
+	path := filepath.Join(dir, FileName)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf[:len(buf)-len("\n")-20], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The resume: the torn cell re-executes and is re-recorded.
+	j2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := j2.Stats(); st.Loaded != 2 || st.Dropped != 1 {
+		t.Fatalf("resume stats = %+v, want 2 loaded / 1 dropped", st)
+	}
+	if err := j2.Record("g", 2, "h", row{Name: "x", Count: 2}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+
+	// A second resume: nothing may be corrupt, and the cell recorded by
+	// the first resume must replay.
+	j3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if st := j3.Stats(); st.Loaded != 3 || st.Dropped != 0 {
+		t.Fatalf("second-resume stats = %+v, want 3 loaded / 0 dropped", st)
+	}
+	if _, ok := j3.Lookup("g", 2, "h"); !ok {
+		t.Fatal("cell re-recorded after the kill was lost by the next resume")
+	}
+}
+
+// TestTornTailCompleteRecordKept: a kill can also land *between* the
+// record bytes and the newline, leaving a complete, checksummed final
+// line that merely lacks its terminator. That record is real data —
+// Open keeps it and restores the line boundary rather than forcing the
+// cell to recompute.
+func TestTornTailCompleteRecordKept(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("g", 0, "h", row{Name: "x", Count: 41}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("g", 1, "h", row{Name: "x", Count: 42}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	path := filepath.Join(dir, FileName)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf[:len(buf)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := j2.Stats(); st.Loaded != 2 || st.Dropped != 0 {
+		t.Fatalf("stats = %+v, want 2 loaded / 0 dropped", st)
+	}
+	if _, ok := j2.Lookup("g", 1, "h"); !ok {
+		t.Fatal("complete-but-unterminated record lost")
+	}
+	if err := j2.Record("g", 2, "h", row{Name: "x", Count: 43}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+
+	j3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if st := j3.Stats(); st.Loaded != 3 || st.Dropped != 0 {
+		t.Fatalf("after append: stats = %+v, want 3 loaded / 0 dropped", st)
+	}
+}
+
 // TestChecksumRejected: a bit-flipped row fails its checksum and is
 // dropped instead of replaying corrupt data.
 func TestChecksumRejected(t *testing.T) {

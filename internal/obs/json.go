@@ -18,7 +18,7 @@ const SchemaV1 = "compresso/artifact/v1"
 // produces byte-identical files regardless of worker count.
 type Artifact struct {
 	Schema string      `json:"schema"`
-	Kind   string      `json:"kind"` // "bench" | "mix" | "experiment" | "capacity"
+	Kind   string      `json:"kind"` // "bench" | "mix" | "experiment" | "capacity" | "fleet"
 	Name   string      `json:"name"`
 	Data   interface{} `json:"data"`
 }

@@ -532,13 +532,7 @@ func newAuditor(cfg Config, ctl memctl.Controller) *audit.Runner {
 }
 
 func scaled(p workload.Profile, scale int) workload.Profile {
-	if scale > 1 {
-		p.FootprintPages /= scale
-		if p.FootprintPages < 16 {
-			p.FootprintPages = 16
-		}
-	}
-	return p
+	return workload.Scale(p, scale)
 }
 
 // RunSingle simulates one benchmark on a single-core system.

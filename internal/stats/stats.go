@@ -14,10 +14,14 @@ import (
 
 // Geomean returns the geometric mean of xs. Non-positive values are
 // invalid for a geometric mean and cause a panic; callers compare
-// relative performance numbers which are strictly positive.
+// relative performance numbers which are strictly positive. An empty
+// slice has no geometric mean: it returns NaN, the package's "no
+// meaningful value" marker, which Table.AddRow renders as "n/a".
+// (Returning 0 here would render an empty column as a plausible
+// "0.000" — a value this same function rejects as invalid input.)
 func Geomean(xs []float64) float64 {
 	if len(xs) == 0 {
-		return 0
+		return math.NaN()
 	}
 	sum := 0.0
 	for _, x := range xs {
@@ -42,26 +46,32 @@ func Mean(xs []float64) float64 {
 }
 
 // Percentile returns the p-th percentile (0..100) of xs using linear
-// interpolation. It returns 0 for empty input.
-func Percentile(xs []float64, p float64) float64 {
+// interpolation. It reports false for empty input or a p outside
+// [0, 100] (including NaN), mirroring obs.HistSnapshot.Percentile: an
+// out-of-range p is a caller bug, and computing an array index from a
+// NaN position is implementation-defined.
+func Percentile(xs []float64, p float64) (float64, bool) {
+	if !(p >= 0 && p <= 100) {
+		return 0, false
+	}
 	if len(xs) == 0 {
-		return 0
+		return 0, false
 	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
-	if p <= 0 {
-		return s[0]
+	if p == 0 {
+		return s[0], true
 	}
-	if p >= 100 {
-		return s[len(s)-1]
+	if p == 100 {
+		return s[len(s)-1], true
 	}
 	pos := p / 100 * float64(len(s)-1)
 	lo := int(pos)
 	frac := pos - float64(lo)
 	if lo+1 >= len(s) {
-		return s[lo]
+		return s[lo], true
 	}
-	return s[lo]*(1-frac) + s[lo+1]*frac
+	return s[lo]*(1-frac) + s[lo+1]*frac, true
 }
 
 // Histogram counts values into named integer buckets.

@@ -11,12 +11,29 @@ func TestGeomean(t *testing.T) {
 	if math.Abs(got-2) > 1e-9 {
 		t.Errorf("Geomean(1,2,4) = %v, want 2", got)
 	}
-	if Geomean(nil) != 0 {
-		t.Error("Geomean(nil) != 0")
-	}
 	got = Geomean([]float64{0.5, 2})
 	if math.Abs(got-1) > 1e-9 {
 		t.Errorf("Geomean(0.5,2) = %v, want 1", got)
+	}
+}
+
+// TestGeomeanEmptyIsNaN pins the empty-slice contract. Pre-fix,
+// Geomean(nil) returned 0 — a value the same function panics on as
+// invalid *input* — so an empty backend column rendered as a
+// legitimate-looking "0.000" geomean. Now it returns NaN, the
+// package-wide "no meaningful value" marker, which Table renders as
+// "n/a".
+func TestGeomeanEmptyIsNaN(t *testing.T) {
+	if got := Geomean(nil); !math.IsNaN(got) {
+		t.Errorf("Geomean(nil) = %v, want NaN", got)
+	}
+	if got := Geomean([]float64{}); !math.IsNaN(got) {
+		t.Errorf("Geomean(empty) = %v, want NaN", got)
+	}
+	tbl := NewTable("col", "geomean")
+	tbl.AddRow("empty", Geomean(nil))
+	if !strings.Contains(tbl.String(), "n/a") {
+		t.Errorf("empty-column geomean renders as a number, want n/a:\n%s", tbl.String())
 	}
 }
 
@@ -44,16 +61,38 @@ func TestPercentile(t *testing.T) {
 		{0, 1}, {100, 4}, {50, 2.5}, {25, 1.75},
 	}
 	for _, tc := range cases {
-		if got := Percentile(xs, tc.p); math.Abs(got-tc.want) > 1e-9 {
-			t.Errorf("Percentile(%v) = %v, want %v", tc.p, got, tc.want)
+		got, ok := Percentile(xs, tc.p)
+		if !ok || math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v,%v, want %v,true", tc.p, got, ok, tc.want)
 		}
 	}
-	if Percentile(nil, 50) != 0 {
-		t.Error("Percentile(nil) != 0")
+	if got, ok := Percentile(nil, 50); ok || got != 0 {
+		t.Errorf("Percentile(nil, 50) = %v,%v, want 0,false", got, ok)
 	}
 	// Input must not be mutated.
 	if xs[0] != 4 {
 		t.Error("Percentile sorted caller's slice")
+	}
+}
+
+// TestPercentileRejectsBadP pins the p-validation contract, mirroring
+// the obs-side HistSnapshot.Percentile fix: p outside [0, 100] —
+// including NaN — reports false instead of computing an index from it.
+// Pre-fix, `pos := p/100*float64(len(s)-1)` with NaN p fed int(pos)
+// an implementation-defined conversion (a potential out-of-bounds
+// index); a negative p silently clamped to the minimum.
+func TestPercentileRejectsBadP(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	for _, p := range []float64{math.NaN(), -1, -0.001, 100.001, 200,
+		math.Inf(1), math.Inf(-1)} {
+		if got, ok := Percentile(xs, p); ok || got != 0 {
+			t.Errorf("Percentile(xs, %v) = %v,%v, want 0,false", p, got, ok)
+		}
+	}
+	for _, p := range []float64{0, 50, 100} {
+		if _, ok := Percentile(xs, p); !ok {
+			t.Errorf("Percentile(xs, %v) not ok, want valid", p)
+		}
 	}
 }
 
@@ -116,13 +155,13 @@ func TestTableRendersNaNAsNA(t *testing.T) {
 
 func TestPercentileEmptyInput(t *testing.T) {
 	for _, p := range []float64{-1, 0, 50, 100, 200} {
-		if got := Percentile(nil, p); got != 0 {
-			t.Errorf("Percentile(nil, %v) = %v, want 0", p, got)
+		if got, ok := Percentile(nil, p); ok || got != 0 {
+			t.Errorf("Percentile(nil, %v) = %v,%v, want 0,false", p, got, ok)
 		}
 	}
 	// Single element: every percentile is that element.
-	if got := Percentile([]float64{7}, 50); got != 7 {
-		t.Errorf("Percentile([7], 50) = %v", got)
+	if got, ok := Percentile([]float64{7}, 50); !ok || got != 7 {
+		t.Errorf("Percentile([7], 50) = %v,%v", got, ok)
 	}
 }
 

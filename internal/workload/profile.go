@@ -148,6 +148,25 @@ func (p *Profile) Validate() error {
 	return nil
 }
 
+// minScaledPages is the footprint floor Scale enforces: below ~16
+// pages the hot/cold locality structure degenerates.
+const minScaledPages = 16
+
+// Scale returns p with its footprint divided by scale (the experiment
+// runners' speed knob), floored at minScaledPages. A scale <= 1 is the
+// identity. Both the cycle simulator and the fleet simulator derive
+// their run footprints through this one function so a given
+// (profile, scale) pair means the same pages everywhere.
+func Scale(p Profile, scale int) Profile {
+	if scale > 1 {
+		p.FootprintPages /= scale
+		if p.FootprintPages < minScaledPages {
+			p.FootprintPages = minScaledPages
+		}
+	}
+	return p
+}
+
 // PageMix derives the full page-kind distribution (including zero
 // pages) that hits the profile's target compression ratio, solved from
 // the measured compressibility of the non-zero flavor mix (binned BPC,
